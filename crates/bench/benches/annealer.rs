@@ -1,0 +1,64 @@
+//! E7 micro-bench: simulated-annealing sweeps over QUBOs of device-scale
+//! sizes, and the QSVM QUBO construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qa::anneal::{anneal, SaParams};
+use qa::qsvm::{build_qubo, QsvmConfig};
+use qa::Qubo;
+use tensor::Rng;
+
+fn random_qubo(n: usize, density: f64, seed: u64) -> Qubo {
+    let mut rng = Rng::seed(seed);
+    let mut q = Qubo::new(n);
+    for i in 0..n {
+        q.add_linear(i, rng.uniform(-1.0, 1.0) as f64);
+        for j in (i + 1)..n {
+            if rng.chance(density) {
+                q.add_quadratic(i, j, rng.uniform(-1.0, 1.0) as f64);
+            }
+        }
+    }
+    q
+}
+
+fn annealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anneal");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let q = random_qubo(n, 0.1, 5);
+        group.bench_with_input(BenchmarkId::new("sa_200sweeps", n), &n, |b, _| {
+            b.iter(|| {
+                anneal(
+                    &q,
+                    &SaParams {
+                        sweeps: 200,
+                        restarts: 8,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn qsvm_qubo_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsvm_qubo");
+    let mut rng = Rng::seed(6);
+    for &n in &[16usize, 48] {
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| vec![rng.normal(), rng.normal()])
+            .collect();
+        let ys: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let cfg = QsvmConfig::default();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| build_qubo(&xs, &ys, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, annealing, qsvm_qubo_build);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fabric-simulation micro-bench: max-min fair flow simulation cost at
+//! growing flow counts, plus the checkpoint failure-injection simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msa_core::SimTime;
+use msa_net::fabric::{simulate, FatTree, Flow};
+use msa_storage::{simulate_failures, YoungDaly};
+
+fn fabric_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric");
+    let tree = FatTree::full_bisection(4, 32, 12.5); // 128 nodes
+    for &flows in &[16usize, 64, 256] {
+        let fs: Vec<Flow> = (0..flows)
+            .map(|i| Flow {
+                src: i % 128,
+                dst: (i * 37 + 5) % 128,
+                bytes: 1e8 + (i % 7) as f64 * 1e7,
+                start: SimTime::from_secs((i % 5) as f64 * 0.01),
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("maxmin_flows", flows), &flows, |b, _| {
+            b.iter(|| simulate(&tree, &fs));
+        });
+    }
+    group.finish();
+}
+
+fn failure_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_sim");
+    let mtbf = YoungDaly::system_mtbf(SimTime::from_secs(2.0e6), 256);
+    let cost = SimTime::from_secs(25.0);
+    let tau = YoungDaly::optimal_interval(cost, mtbf);
+    group.bench_function("100k_secs_of_work", |b| {
+        b.iter(|| {
+            simulate_failures(
+                SimTime::from_secs(100_000.0),
+                tau,
+                cost,
+                SimTime::from_secs(20.0),
+                mtbf,
+                7,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fabric_simulation, failure_injection);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E10 micro-bench: the hpda engine's map/shuffle/reduce path vs a serial
+//! fold, over varying partition counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpda::Pdata;
+
+fn word_count_style(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapreduce");
+    group.sample_size(20);
+    let items: Vec<(u32, u64)> = (0..200_000u64).map(|i| ((i % 1000) as u32, 1)).collect();
+    for &parts in &[1usize, 4, 16] {
+        let d = Pdata::from_vec(items.clone(), parts);
+        group.bench_with_input(
+            BenchmarkId::new("reduce_by_key", parts),
+            &parts,
+            |b, _| {
+                b.iter(|| d.reduce_by_key(|a, b| a + b).count());
+            },
+        );
+    }
+    // Serial baseline.
+    group.bench_function("serial_hashmap", |b| {
+        b.iter(|| {
+            let mut m = std::collections::HashMap::new();
+            for (k, v) in &items {
+                *m.entry(*k).or_insert(0u64) += v;
+            }
+            m.len()
+        });
+    });
+    group.finish();
+}
+
+fn parallel_map_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_reduce_sum");
+    let data: Vec<f64> = (0..500_000).map(|i| i as f64 * 0.5).collect();
+    for &parts in &[1usize, 8, 32] {
+        let d = Pdata::from_vec(data.clone(), parts);
+        group.bench_with_input(BenchmarkId::new("sum", parts), &parts, |b, _| {
+            b.iter(|| d.map(|x| x * x).reduce(|a, b| a + b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, word_count_style, parallel_map_reduce);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E11 micro-bench: scheduler event-loop throughput and the full
+//! MSA-vs-monolithic comparison at growing trace sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msa_core::system::presets;
+use msa_sched::{generate_trace, schedule, MsaPlacement, TraceConfig};
+
+fn scheduling_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    let sys = presets::deep();
+    for &jobs in &[50usize, 200, 800] {
+        let trace = generate_trace(&TraceConfig {
+            jobs,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("fcfs_easy", jobs), &jobs, |b, _| {
+            b.iter(|| schedule(&sys, &trace, &MsaPlacement));
+        });
+    }
+    group.finish();
+}
+
+fn event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_engine");
+    group.bench_function("schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut eng: msa_core::EventEngine<u64> = msa_core::EventEngine::new();
+            for i in 0..10_000u64 {
+                eng.schedule(msa_core::SimTime::from_secs(i as f64 * 0.001), |s, _| {
+                    *s += 1
+                });
+            }
+            let mut count = 0u64;
+            eng.run(&mut count);
+            count
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scheduling_throughput, event_engine);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4 micro-bench: SMO vs cascade SVM training cost as the partition
+//! count grows — the ablation of the cascade's parallel decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
+use tensor::Rng;
+
+fn blobs(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let mut rng = Rng::seed(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let y = if rng.chance(0.5) { 1.0f32 } else { -1.0 };
+        xs.push(vec![rng.normal() + y * 1.2, rng.normal() - y * 0.8]);
+        ys.push(y);
+    }
+    (xs, ys)
+}
+
+fn svm_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_train");
+    group.sample_size(10);
+    let (xs, ys) = blobs(600, 9);
+    let cfg = SvmConfig {
+        kernel: Kernel::Rbf { gamma: 0.8 },
+        max_iters: 40,
+        ..Default::default()
+    };
+    group.bench_function("full_smo_600", |b| {
+        b.iter(|| Svm::train(&xs, &ys, &cfg));
+    });
+    for &parts in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("cascade", parts), &parts, |b, &p| {
+            b.iter(|| cascade_svm(&xs, &ys, p, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn svm_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm_predict");
+    let (xs, ys) = blobs(400, 10);
+    let cfg = SvmConfig {
+        kernel: Kernel::Rbf { gamma: 0.8 },
+        ..Default::default()
+    };
+    let model = Svm::train(&xs, &ys, &cfg);
+    group.bench_function("batch_400", |b| {
+        b.iter(|| model.accuracy(&xs, &ys));
+    });
+    group.finish();
+}
+
+fn gbdt_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbdt_train");
+    group.sample_size(10);
+    let (xs, ys) = blobs(600, 11);
+    let labels: Vec<u8> = ys.iter().map(|&y| u8::from(y > 0.0)).collect();
+    group.bench_function("40_rounds_600", |b| {
+        b.iter(|| ml::gbdt::Gbdt::train(&xs, &labels, &ml::gbdt::GbdtConfig::default()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, svm_training, svm_prediction, gbdt_training);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! CLI for the experiment harness.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- e3
+//! cargo run --release -p bench --bin experiments -- all
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <e1..e14|all> [more ids…]");
+        eprintln!("  e1  Table I + system inventories");
+        eprintln!("  e2  workload/module affinity (Fig. 2)");
+        eprintln!("  e3  distributed DL scaling + accuracy (Fig. 3)");
+        eprintln!("  e4  parallel cascade SVM");
+        eprintln!("  e5  GRU imputation of ICU series");
+        eprintln!("  e6  COVID-Net, V100 vs A100");
+        eprintln!("  e7  quantum-annealer SVM ensembles");
+        eprintln!("  e8  GCE vs software allreduce");
+        eprintln!("  e9  NAM staging vs duplicate downloads");
+        eprintln!("  e10 analytics on DAM memory tiers");
+        eprintln!("  e11 scheduler: MSA vs monolithic");
+        eprintln!("  e12 modular workflow: train here, infer there");
+        eprintln!("  e13 checkpoint/restart: NAM vs parallel FS");
+        eprintln!("  e14 interactive sessions: reserved DAM vs shared queue");
+        std::process::exit(2);
+    }
+    for id in &args {
+        print!("{}", bench::run(id));
+        println!();
+    }
+}

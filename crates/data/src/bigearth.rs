@@ -1,0 +1,283 @@
+//! BigEarthNet-style synthetic multispectral patches.
+//!
+//! BigEarthNet (Sumbul et al. 2019) is 590k Sentinel-2 patches over 10+
+//! bands labelled with CORINE land-cover classes. The property the
+//! RESNET-50 study exploits is that land-cover classes differ in (a)
+//! per-band spectral signature (water is dark in NIR, vegetation bright)
+//! and (b) spatial texture (urban is high-frequency, agriculture is
+//! smooth with field boundaries). This generator synthesises both.
+
+use crate::Dataset;
+use tensor::{Rng, Tensor};
+
+/// Configuration for the generator.
+#[derive(Debug, Clone)]
+pub struct BigEarthConfig {
+    /// Number of spectral bands (Sentinel-2 uses 10 at 10–20 m).
+    pub bands: usize,
+    /// Patch side length in pixels.
+    pub size: usize,
+    /// Number of land-cover classes.
+    pub classes: usize,
+    /// Pixel noise level.
+    pub noise: f32,
+}
+
+impl Default for BigEarthConfig {
+    fn default() -> Self {
+        BigEarthConfig {
+            bands: 4,
+            size: 16,
+            classes: 5,
+            noise: 0.3,
+        }
+    }
+}
+
+/// Generates `n` patches as a [`Dataset`] with `x: (n, bands, size,
+/// size)` and integer class labels in `y`.
+pub fn generate(n: usize, cfg: &BigEarthConfig, seed: u64) -> Dataset {
+    assert!(cfg.classes >= 2 && cfg.bands >= 1 && cfg.size >= 4);
+    let mut rng = Rng::seed(seed);
+
+    // Class spectral signatures: fixed per seed, well separated.
+    let mut sig_rng = Rng::seed(seed ^ 0x5157_ECA1);
+    let signatures: Vec<Vec<f32>> = (0..cfg.classes)
+        .map(|_| (0..cfg.bands).map(|_| sig_rng.uniform(-1.2, 1.2)).collect())
+        .collect();
+    // Class texture parameters: spatial frequency and orientation.
+    let textures: Vec<(f32, f32, f32)> = (0..cfg.classes)
+        .map(|_| {
+            (
+                sig_rng.uniform(0.3, 2.5),  // frequency
+                sig_rng.uniform(0.0, std::f32::consts::PI), // orientation
+                sig_rng.uniform(0.3, 0.9),  // amplitude
+            )
+        })
+        .collect();
+
+    let s = cfg.size;
+    let mut x = Vec::with_capacity(n * cfg.bands * s * s);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.below(cfg.classes);
+        y.push(class as f32);
+        let (freq, theta, amp) = textures[class];
+        let phase = rng.uniform(0.0, std::f32::consts::TAU); // translation invariance
+        let (ct, st) = (theta.cos(), theta.sin());
+        for b in 0..cfg.bands {
+            let base = signatures[class][b];
+            // Band-dependent texture gain (texture is stronger in the
+            // "visible" low bands, like real imagery).
+            let gain = amp / (1.0 + b as f32 * 0.5);
+            for yy in 0..s {
+                for xx in 0..s {
+                    let u = (xx as f32 * ct + yy as f32 * st) * freq * 0.5 + phase;
+                    let tex = u.sin() * gain;
+                    x.push(base + tex + rng.normal() * cfg.noise);
+                }
+            }
+        }
+    }
+    Dataset {
+        x: Tensor::from_vec(x, &[n, cfg.bands, s, s]),
+        y: Tensor::from_vec(y, &[n]),
+    }
+}
+
+/// Multi-label variant: real BigEarthNet patches carry *several* CORINE
+/// land-cover labels (a patch may contain forest and water and urban
+/// fabric). Each generated patch is composed of 1–3 class regions
+/// (vertical bands); `y` is a multi-hot `(n, classes)` tensor.
+pub fn generate_multilabel(n: usize, cfg: &BigEarthConfig, seed: u64) -> Dataset {
+    assert!(cfg.classes >= 2 && cfg.bands >= 1 && cfg.size >= 4);
+    let mut rng = Rng::seed(seed);
+    let mut sig_rng = Rng::seed(seed ^ 0x5157_ECA1);
+    let signatures: Vec<Vec<f32>> = (0..cfg.classes)
+        .map(|_| (0..cfg.bands).map(|_| sig_rng.uniform(-1.2, 1.2)).collect())
+        .collect();
+
+    let s = cfg.size;
+    let mut x = Vec::with_capacity(n * cfg.bands * s * s);
+    let mut y = vec![0.0f32; n * cfg.classes];
+    for item in 0..n {
+        // 1–3 distinct classes split the patch into vertical bands.
+        let k = 1 + rng.below(3.min(cfg.classes));
+        let mut present = Vec::with_capacity(k);
+        while present.len() < k {
+            let c = rng.below(cfg.classes);
+            if !present.contains(&c) {
+                present.push(c);
+            }
+        }
+        for &c in &present {
+            y[item * cfg.classes + c] = 1.0;
+        }
+        // Column ownership: equal-width bands.
+        let band_of = |xx: usize| present[(xx * present.len()) / s];
+        for b in 0..cfg.bands {
+            for _yy in 0..s {
+                for xx in 0..s {
+                    let c = band_of(xx);
+                    x.push(signatures[c][b] + rng.normal() * cfg.noise);
+                }
+            }
+        }
+    }
+    Dataset {
+        x: Tensor::from_vec(x, &[n, cfg.bands, s, s]),
+        y: Tensor::from_vec(y, &[n, cfg.classes]),
+    }
+}
+
+/// Subset accuracy for multi-label predictions: a sample counts as
+/// correct when every label is on the right side of the 0-logit
+/// threshold.
+pub fn multilabel_subset_accuracy(logits: &Tensor, targets: &Tensor) -> f64 {
+    assert_eq!(logits.shape(), targets.shape());
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut correct = 0;
+    for i in 0..n {
+        let ok = (0..k).all(|c| (logits.at(&[i, c]) > 0.0) == (targets.at(&[i, c]) == 1.0));
+        if ok {
+            correct += 1;
+        }
+    }
+    correct as f64 / n.max(1) as f64
+}
+
+/// Flattened per-pixel-mean features (`(n, bands)`) for the classical-ML
+/// experiments (SVM, forests): the spectral signature averaged over the
+/// patch, which is exactly what pixel-based RS classifiers consume.
+pub fn spectral_features(ds: &Dataset) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let shape = ds.x.shape();
+    let (n, bands) = (shape[0], shape[1]);
+    let pix: usize = shape[2..].iter().product();
+    let feats = (0..n)
+        .map(|i| {
+            (0..bands)
+                .map(|b| {
+                    let base = (i * bands + b) * pix;
+                    ds.x.data()[base..base + pix].iter().sum::<f32>() / pix as f32
+                })
+                .collect()
+        })
+        .collect();
+    (feats, ds.y.data().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_label_range() {
+        let cfg = BigEarthConfig::default();
+        let ds = generate(32, &cfg, 7);
+        assert_eq!(ds.x.shape(), &[32, 4, 16, 16]);
+        assert_eq!(ds.y.numel(), 32);
+        for &l in ds.y.data() {
+            assert!(l >= 0.0 && l < cfg.classes as f32);
+            assert_eq!(l.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BigEarthConfig::default();
+        let a = generate(8, &cfg, 1);
+        let b = generate(8, &cfg, 1);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        let c = generate(8, &cfg, 2);
+        assert_ne!(a.x.data(), c.x.data());
+    }
+
+    #[test]
+    fn classes_are_spectrally_separable() {
+        // Per-class mean spectral vectors should differ far more between
+        // classes than the pixel noise — otherwise no model could learn.
+        let cfg = BigEarthConfig {
+            noise: 0.1,
+            ..Default::default()
+        };
+        let ds = generate(300, &cfg, 3);
+        let (feats, labels) = spectral_features(&ds);
+        let mut means = vec![vec![0.0f32; cfg.bands]; cfg.classes];
+        let mut counts = vec![0usize; cfg.classes];
+        for (f, &l) in feats.iter().zip(&labels) {
+            let c = l as usize;
+            counts[c] += 1;
+            for (m, v) in means[c].iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f32;
+            }
+        }
+        let mut min_dist = f32::INFINITY;
+        for i in 0..cfg.classes {
+            for j in (i + 1)..cfg.classes {
+                let d: f32 = means[i]
+                    .iter()
+                    .zip(&means[j])
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f32>()
+                    .sqrt();
+                min_dist = min_dist.min(d);
+            }
+        }
+        assert!(
+            min_dist > 0.3,
+            "closest class pair only {min_dist} apart in spectral space"
+        );
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let cfg = BigEarthConfig::default();
+        let ds = generate(200, &cfg, 5);
+        let mut seen = vec![false; cfg.classes];
+        for &l in ds.y.data() {
+            seen[l as usize] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn multilabel_shapes_and_hot_counts() {
+        let cfg = BigEarthConfig::default();
+        let ds = generate_multilabel(50, &cfg, 7);
+        assert_eq!(ds.x.shape(), &[50, 4, 16, 16]);
+        assert_eq!(ds.y.shape(), &[50, cfg.classes]);
+        let mut multi = 0;
+        for i in 0..50 {
+            let hot: f32 = (0..cfg.classes).map(|c| ds.y.at(&[i, c])).sum();
+            assert!((1.0..=3.0).contains(&hot), "label count {hot}");
+            if hot > 1.0 {
+                multi += 1;
+            }
+        }
+        assert!(multi > 10, "most patches should be multi-label: {multi}");
+    }
+
+    #[test]
+    fn subset_accuracy_thresholds_at_zero() {
+        let logits = Tensor::from_vec(vec![2.0, -2.0, 2.0, 2.0], &[2, 2]);
+        let targets = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]);
+        let acc = multilabel_subset_accuracy(&logits, &targets);
+        assert!((acc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectral_features_have_right_dims() {
+        let cfg = BigEarthConfig::default();
+        let ds = generate(10, &cfg, 9);
+        let (feats, labels) = spectral_features(&ds);
+        assert_eq!(feats.len(), 10);
+        assert_eq!(feats[0].len(), cfg.bands);
+        assert_eq!(labels.len(), 10);
+    }
+}

@@ -1,0 +1,237 @@
+//! Gradient compression: top-k sparsification with error feedback.
+//!
+//! The paper points at DeepSpeed as the successor to Horovod; a core part
+//! of that lineage is cutting allreduce volume by communicating only the
+//! largest gradient entries and accumulating the rest locally ("error
+//! feedback"), which preserves convergence. This module provides:
+//!
+//! * [`top_k`] / [`densify`] — the sparsification primitives;
+//! * [`TopKCompressor`] — per-rank compressor with an error-feedback
+//!   residual;
+//! * [`sparse_allreduce_mean`] — a real sparse gradient exchange over any
+//!   [`Communicator`] (allgather of (index, value) pairs, since sparse
+//!   sums don't fit the dense ring);
+//! * a cost comparison hook: the communicated volume per step drops from
+//!   `4·n` bytes to `8·k`.
+
+use msa_net::Communicator;
+
+/// Indices and values of the `k` largest-magnitude entries (indices
+/// ascending).
+pub fn top_k(grad: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
+    assert!(k >= 1, "k must be positive");
+    let k = k.min(grad.len());
+    // Select by magnitude via partial sort of indices.
+    let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        grad[b as usize]
+            .abs()
+            .total_cmp(&grad[a as usize].abs())
+    });
+    let mut chosen: Vec<u32> = idx[..k].to_vec();
+    chosen.sort_unstable();
+    let values = chosen.iter().map(|&i| grad[i as usize]).collect();
+    (chosen, values)
+}
+
+/// Scatters a sparse gradient back to a dense vector of length `len`.
+pub fn densify(len: usize, indices: &[u32], values: &[f32]) -> Vec<f32> {
+    assert_eq!(indices.len(), values.len());
+    let mut out = vec![0.0f32; len];
+    for (&i, &v) in indices.iter().zip(values) {
+        out[i as usize] = v;
+    }
+    out
+}
+
+/// Per-rank compressor state: the error-feedback residual.
+pub struct TopKCompressor {
+    residual: Vec<f32>,
+    /// Fraction of entries communicated per step (0 < ratio ≤ 1).
+    ratio: f64,
+}
+
+impl TopKCompressor {
+    pub fn new(param_len: usize, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        TopKCompressor {
+            residual: vec![0.0; param_len],
+            ratio,
+        }
+    }
+
+    /// Number of entries sent per step.
+    pub fn k(&self) -> usize {
+        ((self.residual.len() as f64 * self.ratio).ceil() as usize).max(1)
+    }
+
+    /// Compresses `grad` (adding the carried residual first) and records
+    /// the new residual. Returns the sparse representation.
+    pub fn compress(&mut self, grad: &[f32]) -> (Vec<u32>, Vec<f32>) {
+        assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
+        // Error feedback: what we failed to send last time rides along.
+        for (r, &g) in self.residual.iter_mut().zip(grad) {
+            *r += g;
+        }
+        let (idx, vals) = top_k(&self.residual, self.k());
+        for &i in &idx {
+            self.residual[i as usize] = 0.0;
+        }
+        (idx, vals)
+    }
+
+    /// Bytes this rank ships per step (4-byte index + 4-byte value each).
+    pub fn bytes_per_step(&self) -> usize {
+        self.k() * 8
+    }
+
+    /// Bytes a dense exchange would ship.
+    pub fn dense_bytes(&self) -> usize {
+        self.residual.len() * 4
+    }
+}
+
+/// Sparse gradient averaging: every rank contributes its top-k (with its
+/// own compressor), the union of contributions is summed and divided by
+/// the rank count, and the dense average is written back into `grad`.
+pub fn sparse_allreduce_mean<C: Communicator + ?Sized>(
+    comm: &C,
+    grad: &mut [f32],
+    compressor: &mut TopKCompressor,
+) {
+    let (idx, vals) = compressor.compress(grad);
+    // Encode as interleaved f32 pairs (index bits preserved via to_bits
+    // would break on summation paths, so we allgather raw pairs).
+    let mut payload = Vec::with_capacity(idx.len() * 2);
+    for (&i, &v) in idx.iter().zip(&vals) {
+        payload.push(f32::from_bits(i));
+        payload.push(v);
+    }
+    let all = comm.allgather(&payload);
+    let n = comm.size() as f32;
+    grad.iter_mut().for_each(|g| *g = 0.0);
+    for contribution in all {
+        for pair in contribution.chunks_exact(2) {
+            let i = pair[0].to_bits() as usize;
+            grad[i] += pair[1] / n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_net::ThreadComm;
+
+    #[test]
+    fn top_k_picks_largest_magnitudes() {
+        let g = [0.1, -5.0, 0.0, 3.0, -0.2];
+        let (idx, vals) = top_k(&g, 2);
+        assert_eq!(idx, vec![1, 3]);
+        assert_eq!(vals, vec![-5.0, 3.0]);
+        let dense = densify(5, &idx, &vals);
+        assert_eq!(dense, vec![0.0, -5.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn k_larger_than_len_is_clamped() {
+        let g = [1.0, 2.0];
+        let (idx, vals) = top_k(&g, 10);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_feedback_conserves_mass() {
+        // Everything not sent now is sent later: over many steps of a
+        // constant gradient the total transmitted equals steps × grad.
+        let mut c = TopKCompressor::new(10, 0.2); // k = 2
+        let grad = vec![1.0f32; 10];
+        let mut received = vec![0.0f32; 10];
+        let steps = 50;
+        for _ in 0..steps {
+            let (idx, vals) = c.compress(&grad);
+            assert_eq!(idx.len(), 2);
+            for (&i, &v) in idx.iter().zip(&vals) {
+                received[i as usize] += v;
+            }
+        }
+        let total: f32 = received.iter().sum();
+        // Conservation: everything injected is either sent or still in
+        // the residual, so the outstanding mass is bounded by what the
+        // 2-of-10 channel simply hasn't had time to drain.
+        let outstanding: f32 = 10.0 * steps as f32 - total;
+        assert!(
+            outstanding <= 10.0 * steps as f32 * 0.8 + 1e-3,
+            "residual never drained: {outstanding}"
+        );
+        // Per-coordinate fairness: every coordinate eventually gets sent.
+        assert!(received.iter().all(|&r| r > 0.0), "{received:?}");
+    }
+
+    #[test]
+    fn sparse_allreduce_matches_dense_for_ratio_one() {
+        let out = ThreadComm::run(4, |comm| {
+            use msa_net::PointToPoint as _;
+            let grad: Vec<f32> = (0..16).map(|i| (comm.rank() + i) as f32).collect();
+            let mut dense = grad.clone();
+            comm.allreduce_mean(&mut dense);
+            let mut sparse = grad;
+            let mut c = TopKCompressor::new(16, 1.0);
+            sparse_allreduce_mean(comm, &mut sparse, &mut c);
+            (dense, sparse)
+        });
+        for (dense, sparse) in out {
+            for (a, b) in dense.iter().zip(&sparse) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_cuts_communication_volume() {
+        let c = TopKCompressor::new(25_600_000, 0.01); // ResNet-50 size, 1%
+        assert_eq!(c.dense_bytes(), 102_400_000);
+        assert_eq!(c.bytes_per_step(), 256_000 * 8);
+        assert!(c.bytes_per_step() < c.dense_bytes() / 49);
+    }
+
+    #[test]
+    fn sparse_training_signal_survives_compression() {
+        // SGD on f(w) = ‖w − w*‖²/2 with 10% top-k + error feedback must
+        // still converge (the error-feedback guarantee).
+        let dim = 50;
+        let target: Vec<f32> = (0..dim).map(|i| (i % 7) as f32 - 3.0).collect();
+        let out = ThreadComm::run(2, |comm| {
+            let mut w = vec![0.0f32; dim];
+            let mut c = TopKCompressor::new(dim, 0.1);
+            // Error feedback delays each coordinate by up to ~1/ratio
+            // steps, so the *effective* step is staleness × lr; keep
+            // lr small enough that it stays inside the stability region.
+            for _ in 0..600 {
+                let mut grad: Vec<f32> =
+                    w.iter().zip(&target).map(|(wi, ti)| wi - ti).collect();
+                sparse_allreduce_mean(comm, &mut grad, &mut c);
+                for (wi, g) in w.iter_mut().zip(&grad) {
+                    *wi -= 0.1 * g;
+                }
+            }
+            w
+        });
+        for w in out {
+            let err: f32 = w
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+                .sqrt();
+            assert!(err < 0.5, "compressed SGD failed to converge: err {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn zero_ratio_rejected() {
+        let _ = TopKCompressor::new(10, 0.0);
+    }
+}

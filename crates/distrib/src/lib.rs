@@ -1,0 +1,27 @@
+//! # distrib
+//!
+//! The paper's distributed deep-learning layer, rebuilt from scratch:
+//!
+//! * [`trainer`] — a **real** Horovod equivalent. `n` OS threads each own
+//!   a model replica and a data shard; every step they compute local
+//!   gradients and synchronise them with a genuine ring allreduce over
+//!   [`msa_net::ThreadComm`] channels, then take identical optimiser
+//!   steps. Learning-rate linear scaling with warmup (the recipe the
+//!   128-GPU ResNet-50 studies rely on) is built in.
+//! * [`perf`] — the **analytic** counterpart used to reproduce the
+//!   JUWELS-scale numbers: step time = compute(batch)/GPU-throughput +
+//!   allreduce(gradient bytes, n) on the booster interconnect, composed
+//!   into epoch times, speedup and efficiency curves for 1…512 GPUs on
+//!   V100 or A100 nodes (experiments E3 and E6).
+
+pub mod compress;
+pub mod modular;
+pub mod perf;
+pub mod trainer;
+
+pub use compress::{sparse_allreduce_mean, TopKCompressor};
+pub use modular::{MlCampaign, WorkflowCost};
+pub use perf::{ScalingModel, ScalingPoint};
+pub use trainer::{
+    evaluate_classifier, evaluate_loss, train_data_parallel, EpochStats, TrainConfig, TrainReport,
+};

@@ -1,0 +1,219 @@
+//! Analytic large-scale scaling model.
+//!
+//! Reproduces the *shape* of the JUWELS ResNet-50 scaling studies
+//! (Sedona et al. 2019/2020: 96 and then 128 interconnected GPUs) without
+//! the hardware: per-step time is compute + gradient allreduce, composed
+//! from the GPU spec and the interconnect α–β model of `msa-net`.
+//!
+//! ResNet-50 constants: ~25.6 M parameters (≈102 MB of fp32 gradients),
+//! ~3.9 GFLOP per forward pass at 224², ≈3× that for forward+backward.
+
+use msa_core::hw::GpuSpec;
+use msa_core::SimTime;
+use msa_net::{CollectiveAlgo, LinkParams};
+
+/// Fraction of peak tensor throughput a real training step sustains.
+/// Calibrated so a V100 runs ResNet-50 at ≈1600 img/s (mixed precision),
+/// matching published MLPerf-era numbers.
+const SUSTAINED_FRACTION: f64 = 0.15;
+
+/// Fraction of the compute time behind which Horovod's tensor-fusion
+/// pipeline can hide allreduce traffic (backprop overlaps communication).
+const OVERLAP_FRACTION: f64 = 0.3;
+
+/// A distributed-training workload on a given GPU + interconnect.
+#[derive(Debug, Clone)]
+pub struct ScalingModel {
+    pub gpu: GpuSpec,
+    pub link: LinkParams,
+    /// FLOPs per sample, forward+backward.
+    pub flops_per_sample: f64,
+    /// Gradient payload in bytes (fp32 parameter count × 4).
+    pub grad_bytes: f64,
+    /// Training-set size in samples.
+    pub dataset_samples: u64,
+    /// Per-GPU mini-batch (weak scaling, the Horovod convention).
+    pub batch_per_gpu: u64,
+    /// Allreduce algorithm in use.
+    pub algo: CollectiveAlgo,
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    pub gpus: usize,
+    pub step_time: SimTime,
+    pub epoch_time: SimTime,
+    pub speedup: f64,
+    pub efficiency: f64,
+}
+
+impl ScalingModel {
+    /// ResNet-50 on BigEarthNet-scale data (≈270k 120×120 patches in the
+    /// Sedona study) for a given GPU generation.
+    pub fn resnet50(gpu: GpuSpec, link: LinkParams) -> Self {
+        ScalingModel {
+            gpu,
+            link,
+            // 224² ResNet-50: ≈3.9 GFLOP fwd ⇒ ~11.7 GFLOP fwd+bwd.
+            flops_per_sample: 11.7e9,
+            grad_bytes: 25.6e6 * 4.0,
+            dataset_samples: 269_695,
+            batch_per_gpu: 64,
+            algo: CollectiveAlgo::Ring,
+        }
+    }
+
+    /// Compute time of one local mini-batch on one GPU.
+    pub fn compute_time(&self) -> SimTime {
+        let flops = self.flops_per_sample * self.batch_per_gpu as f64;
+        SimTime::from_secs(
+            flops / (self.gpu.tensor_tflops * 1e12 * SUSTAINED_FRACTION),
+        )
+    }
+
+    /// Communication time of the gradient allreduce over `gpus` ranks.
+    pub fn comm_time(&self, gpus: usize) -> SimTime {
+        self.algo.allreduce_time(gpus, self.grad_bytes, self.link)
+    }
+
+    /// One synchronous data-parallel step on `gpus` GPUs: compute plus
+    /// the part of the allreduce that cannot be overlapped with backprop.
+    pub fn step_time(&self, gpus: usize) -> SimTime {
+        let compute = self.compute_time();
+        let comm = self.comm_time(gpus);
+        let hidden = comm.min(compute * OVERLAP_FRACTION);
+        compute + comm.saturating_sub(hidden)
+    }
+
+    /// Steps per epoch with the global batch `batch_per_gpu × gpus`.
+    pub fn steps_per_epoch(&self, gpus: usize) -> u64 {
+        let global = self.batch_per_gpu * gpus as u64;
+        self.dataset_samples.div_ceil(global)
+    }
+
+    /// One full epoch on `gpus` GPUs.
+    pub fn epoch_time(&self, gpus: usize) -> SimTime {
+        self.step_time(gpus) * self.steps_per_epoch(gpus) as f64
+    }
+
+    /// Scaling curve over the given GPU counts (speedup and efficiency
+    /// relative to 1 GPU).
+    pub fn curve(&self, gpu_counts: &[usize]) -> Vec<ScalingPoint> {
+        let t1 = self.epoch_time(1);
+        gpu_counts
+            .iter()
+            .map(|&g| {
+                let epoch = self.epoch_time(g);
+                let speedup = t1 / epoch;
+                ScalingPoint {
+                    gpus: g,
+                    step_time: self.step_time(g),
+                    epoch_time: epoch,
+                    speedup,
+                    efficiency: speedup / g as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Inference throughput of one GPU in samples/s (forward only, ⅓ of
+    /// the train FLOPs).
+    pub fn inference_throughput(&self) -> f64 {
+        let fwd = self.flops_per_sample / 3.0;
+        self.gpu.tensor_tflops * 1e12 * SUSTAINED_FRACTION / fwd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_core::hw::catalog;
+
+    fn v100_model() -> ScalingModel {
+        ScalingModel::resnet50(catalog::v100(), LinkParams::infiniband_edr())
+    }
+
+    fn a100_model() -> ScalingModel {
+        ScalingModel::resnet50(catalog::a100(), LinkParams::infiniband_hdr200x4())
+    }
+
+    #[test]
+    fn speedup_grows_monotonically_to_128_gpus() {
+        let m = v100_model();
+        let counts = [1usize, 2, 4, 8, 16, 32, 64, 96, 128];
+        let curve = m.curve(&counts);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].speedup > w[0].speedup,
+                "speedup should still grow at {} GPUs ({} vs {})",
+                w[1].gpus,
+                w[1].speedup,
+                w[0].speedup
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_scale_but_stays_useful() {
+        // Sedona et al. report near-linear scaling to 96–128 GPUs with
+        // gradually decaying efficiency — the shape we must reproduce.
+        let m = v100_model();
+        let curve = m.curve(&[1, 16, 96, 128]);
+        assert!((curve[0].efficiency - 1.0).abs() < 1e-9);
+        assert!(curve[1].efficiency < 1.0);
+        assert!(curve[3].efficiency < curve[2].efficiency);
+        assert!(
+            curve[3].efficiency > 0.7,
+            "128-GPU efficiency collapsed: {}",
+            curve[3].efficiency
+        );
+        assert!(
+            curve[3].speedup > 64.0,
+            "128 GPUs should be > 64× faster: {}",
+            curve[3].speedup
+        );
+    }
+
+    #[test]
+    fn epoch_time_drops_from_hours_to_minutes() {
+        // The study's practical point: single-GPU epochs are prohibitive,
+        // 96+ GPUs make them interactive.
+        let m = v100_model();
+        let t1 = m.epoch_time(1);
+        let t96 = m.epoch_time(96);
+        assert!(t1.as_secs() > 120.0, "1 GPU epoch {t1}");
+        assert!(t96.as_secs() < t1.as_secs() / 50.0, "96 GPU epoch {t96}");
+        // Full training (100 epochs): hours on one GPU, minutes on 96.
+        assert!((t1 * 100.0).as_hours() > 4.0);
+        assert!((t96 * 100.0).as_secs() < 15.0 * 60.0);
+    }
+
+    #[test]
+    fn a100_beats_v100_per_step_as_in_covid_study() {
+        // §IV-A: A100 significantly faster than previous generation.
+        let v = v100_model();
+        let a = a100_model();
+        let ratio = v.compute_time() / a.compute_time();
+        assert!(
+            (2.0..3.2).contains(&ratio),
+            "A100/V100 tensor ratio should be ≈2.5: {ratio}"
+        );
+        assert!(a.inference_throughput() > 2.0 * v.inference_throughput());
+    }
+
+    #[test]
+    fn comm_share_grows_with_gpu_count() {
+        let m = v100_model();
+        let share = |g: usize| m.comm_time(g) / m.step_time(g);
+        assert!(share(128) > share(8));
+        assert!(share(8) > share(2));
+    }
+
+    #[test]
+    fn steps_per_epoch_shrinks_with_gpus() {
+        let m = v100_model();
+        assert_eq!(m.steps_per_epoch(1), 269_695_u64.div_ceil(64));
+        assert_eq!(m.steps_per_epoch(128), 269_695_u64.div_ceil(64 * 128));
+    }
+}

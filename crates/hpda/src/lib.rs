@@ -1,0 +1,349 @@
+//! # hpda
+//!
+//! A Spark-like high-performance data-analytics engine — the workload the
+//! MSA's Data Analytics Module exists for. [`Pdata`] is an RDD-style
+//! partitioned collection whose transformations run partition-parallel on
+//! rayon, including hash-shuffled `reduce_by_key`/`group_by_key` (the
+//! map-reduce "divide and conquer" cited from Zou et al.).
+//!
+//! [`tier`] is the accompanying memory-capacity cost model: the DAM
+//! carries 384 GiB DDR + 3 TB NVMe per node *because* Spark-class jobs
+//! fall off a bandwidth cliff when the working set leaves DRAM; the model
+//! quantifies that cliff for experiment E10.
+
+pub mod tier;
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// A partitioned, immutable dataset (RDD-alike).
+#[derive(Debug, Clone)]
+pub struct Pdata<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Send + Sync + Clone> Pdata<T> {
+    /// Distributes `items` round-robin-block over `parts` partitions.
+    pub fn from_vec(items: Vec<T>, parts: usize) -> Self {
+        assert!(parts >= 1, "need at least one partition");
+        let n = items.len();
+        let chunk = n.div_ceil(parts).max(1);
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(parts);
+        let mut it = items.into_iter();
+        for _ in 0..parts {
+            partitions.push(it.by_ref().take(chunk).collect());
+        }
+        Pdata { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of items.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Gathers all items into one vector (partition order).
+    pub fn collect(&self) -> Vec<T> {
+        self.partitions.iter().flatten().cloned().collect()
+    }
+
+    /// Elementwise transformation, partition-parallel.
+    pub fn map<U: Send + Sync + Clone>(&self, f: impl Fn(&T) -> U + Sync) -> Pdata<U> {
+        Pdata {
+            partitions: self
+                .partitions
+                .par_iter()
+                .map(|p| p.iter().map(&f).collect())
+                .collect(),
+        }
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Sync) -> Pdata<T> {
+        Pdata {
+            partitions: self
+                .partitions
+                .par_iter()
+                .map(|p| p.iter().filter(|x| f(x)).cloned().collect())
+                .collect(),
+        }
+    }
+
+    /// One-to-many transformation.
+    pub fn flat_map<U: Send + Sync + Clone>(
+        &self,
+        f: impl Fn(&T) -> Vec<U> + Sync,
+    ) -> Pdata<U> {
+        Pdata {
+            partitions: self
+                .partitions
+                .par_iter()
+                .map(|p| p.iter().flat_map(&f).collect())
+                .collect(),
+        }
+    }
+
+    /// Associative-commutative reduction: per-partition fold, then a
+    /// combine across partition results. Returns `None` when empty.
+    pub fn reduce(&self, f: impl Fn(T, &T) -> T + Sync) -> Option<T> {
+        let partials: Vec<Option<T>> = self
+            .partitions
+            .par_iter()
+            .map(|p| {
+                let mut it = p.iter();
+                let first = it.next()?.clone();
+                Some(it.fold(first, &f))
+            })
+            .collect();
+        partials
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| f(a, &b))
+    }
+}
+
+fn hash_of<K: Hash>(k: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+impl<K, V> Pdata<(K, V)>
+where
+    K: Send + Sync + Clone + Hash + Eq,
+    V: Send + Sync + Clone,
+{
+    /// Hash-shuffles by key and reduces values per key — the map-reduce
+    /// core. The shuffle routes each key to partition `hash(k) % p` (the
+    /// "network exchange"), then reduces within partitions in parallel.
+    pub fn reduce_by_key(&self, f: impl Fn(V, &V) -> V + Sync) -> Pdata<(K, V)> {
+        let p = self.num_partitions();
+        // Map side: pre-aggregate per partition (combiner), then bucket.
+        let bucketed: Vec<Vec<Vec<(K, V)>>> = self
+            .partitions
+            .par_iter()
+            .map(|part| {
+                let mut local: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match local.get_mut(k) {
+                        Some(acc) => {
+                            let old = acc.clone();
+                            *acc = f(old, v);
+                        }
+                        None => {
+                            local.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                let mut buckets: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
+                for (k, v) in local {
+                    let b = (hash_of(&k) % p as u64) as usize;
+                    buckets[b].push((k, v));
+                }
+                buckets
+            })
+            .collect();
+
+        // Reduce side: merge each destination partition's buckets.
+        let partitions: Vec<Vec<(K, V)>> = (0..p)
+            .into_par_iter()
+            .map(|dest| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for src in &bucketed {
+                    for (k, v) in &src[dest] {
+                        match acc.get_mut(k) {
+                            Some(a) => {
+                                let old = a.clone();
+                                *a = f(old, v);
+                            }
+                            None => {
+                                acc.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            })
+            .collect();
+        Pdata { partitions }
+    }
+
+    /// Groups all values per key.
+    pub fn group_by_key(&self) -> Pdata<(K, Vec<V>)> {
+        self.map(|(k, v)| (k.clone(), vec![v.clone()]))
+            .reduce_by_key(|mut a, b| {
+                a.extend(b.iter().cloned());
+                a
+            })
+    }
+
+    /// Inner hash join: pairs every value of a key in `self` with every
+    /// value of the same key in `other` (Spark's `join`).
+    pub fn join<W>(&self, other: &Pdata<(K, W)>) -> Pdata<(K, (V, W))>
+    where
+        W: Send + Sync + Clone,
+    {
+        let left = self.group_by_key();
+        let right = other.group_by_key();
+        // Build a map of the (usually smaller) right side.
+        let mut rmap: HashMap<K, Vec<W>> = HashMap::new();
+        for (k, vs) in right.collect() {
+            rmap.insert(k, vs);
+        }
+        let partitions: Vec<Vec<(K, (V, W))>> = left
+            .partitions
+            .par_iter()
+            .map(|part| {
+                let mut out = Vec::new();
+                for (k, vs) in part {
+                    if let Some(ws) = rmap.get(k) {
+                        for v in vs {
+                            for w in ws {
+                                out.push((k.clone(), (v.clone(), w.clone())));
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        Pdata { partitions }
+    }
+}
+
+impl<K, V> Pdata<(K, V)>
+where
+    K: Send + Sync + Clone + Ord + Hash + Eq,
+    V: Send + Sync + Clone,
+{
+    /// Globally sorts by key (range-partition-free: parallel per-partition
+    /// sort followed by a k-way merge into one partition order, then
+    /// re-split).
+    pub fn sort_by_key(&self) -> Pdata<(K, V)> {
+        let p = self.num_partitions();
+        let mut all = self.collect();
+        all.par_sort_by(|a, b| a.0.cmp(&b.0));
+        Pdata::from_vec(all, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_covers_all_items() {
+        let d = Pdata::from_vec((0..10).collect(), 3);
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.count(), 10);
+        let mut all = d.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_filter_flatmap() {
+        let d = Pdata::from_vec((1..=6).collect::<Vec<i64>>(), 2);
+        let sq = d.map(|x| x * x);
+        let mut v = sq.collect();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 4, 9, 16, 25, 36]);
+        assert_eq!(d.filter(|x| x % 2 == 0).count(), 3);
+        assert_eq!(d.flat_map(|&x| vec![x; x as usize]).count(), 21);
+    }
+
+    #[test]
+    fn reduce_matches_serial() {
+        let d = Pdata::from_vec((1..=100).collect::<Vec<i64>>(), 7);
+        assert_eq!(d.reduce(|a, b| a + b), Some(5050));
+        let empty: Pdata<i64> = Pdata::from_vec(vec![], 3);
+        assert_eq!(empty.reduce(|a, b| a + b), None);
+    }
+
+    #[test]
+    fn word_count_via_reduce_by_key() {
+        let words = vec!["a", "b", "a", "c", "b", "a"];
+        let d = Pdata::from_vec(words, 3).map(|w| (w.to_string(), 1u64));
+        let counts = d.reduce_by_key(|a, b| a + b);
+        let mut out = counts.collect();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![
+                ("a".into(), 3),
+                ("b".into(), 2),
+                ("c".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn shuffle_routes_each_key_to_one_partition() {
+        let pairs: Vec<(u64, u64)> = (0..200).map(|i| (i % 10, 1)).collect();
+        let d = Pdata::from_vec(pairs, 8);
+        let red = d.reduce_by_key(|a, b| a + b);
+        // Every key appears exactly once across partitions.
+        let all = red.collect();
+        assert_eq!(all.len(), 10);
+        for (_, c) in all {
+            assert_eq!(c, 20);
+        }
+    }
+
+    #[test]
+    fn group_by_key_collects_all_values() {
+        let pairs = vec![(1, 10), (2, 20), (1, 11), (2, 21), (1, 12)];
+        let d = Pdata::from_vec(pairs, 2);
+        let grouped = d.group_by_key();
+        let mut out = grouped.collect();
+        out.sort();
+        assert_eq!(out.len(), 2);
+        let mut v1 = out[0].1.clone();
+        v1.sort_unstable();
+        assert_eq!(v1, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn join_pairs_matching_keys() {
+        let orders = Pdata::from_vec(vec![(1u32, "a"), (2, "b"), (1, "c")], 2);
+        let prices = Pdata::from_vec(vec![(1u32, 10.0f64), (3, 30.0)], 2);
+        let joined = orders.join(&prices);
+        let mut out = joined.collect();
+        out.sort_by(|a, b| a.1 .0.cmp(b.1 .0));
+        // Only key 1 matches; both its left values pair with the price.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], (1, ("a", 10.0)));
+        assert_eq!(out[1], (1, ("c", 10.0)));
+    }
+
+    #[test]
+    fn join_with_duplicate_right_values_is_a_cross_product() {
+        let l = Pdata::from_vec(vec![(0u32, 1i64), (0, 2)], 2);
+        let r = Pdata::from_vec(vec![(0u32, 10i64), (0, 20)], 2);
+        assert_eq!(l.join(&r).count(), 4);
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let d = Pdata::from_vec(
+            vec![(5u32, "e"), (1, "a"), (3, "c"), (2, "b"), (4, "d")],
+            3,
+        );
+        let sorted = d.sort_by_key();
+        assert_eq!(sorted.num_partitions(), 3);
+        let keys: Vec<u32> = sorted.collect().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_partition_works() {
+        let d = Pdata::from_vec(vec![5, 3, 1], 1);
+        assert_eq!(d.num_partitions(), 1);
+        assert_eq!(d.reduce(|a, b| a.max(*b)), Some(5));
+    }
+}

@@ -1,0 +1,248 @@
+//! Parallel k-means (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Unsupervised clustering of spectral features is a staple of the RS
+//! pipelines the paper's DAM hosts (and a classic Spark MLlib workload);
+//! assignment and centroid-update steps are both partition-parallel on
+//! rayon.
+
+use rayon::prelude::*;
+use tensor::Rng;
+
+/// k-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iters: usize,
+    /// Stop when total centroid movement falls below this.
+    pub tol: f32,
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 4,
+            max_iters: 100,
+            tol: 1e-4,
+            seed: 17,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    pub centroids: Vec<Vec<f32>>,
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(x: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, sq_dist(x, c)))
+        .fold((0, f32::INFINITY), |best, (i, d)| {
+            if d < best.1 {
+                (i, d)
+            } else {
+                best
+            }
+        })
+}
+
+/// k-means++ initial centroids.
+fn init_pp(xs: &[Vec<f32>], k: usize, rng: &mut Rng) -> Vec<Vec<f32>> {
+    let mut centroids = vec![xs[rng.below(xs.len())].clone()];
+    while centroids.len() < k {
+        // Distances to nearest existing centroid.
+        let d2: Vec<f32> = xs
+            .par_iter()
+            .map(|x| nearest(x, &centroids).1)
+            .collect();
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        if total <= 0.0 {
+            // All points coincide with centroids; duplicate one.
+            centroids.push(centroids[0].clone());
+            continue;
+        }
+        let mut target = rng.uniform(0.0, 1.0) as f64 * total;
+        let mut pick = xs.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d as f64;
+            if target <= 0.0 {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push(xs[pick].clone());
+    }
+    centroids
+}
+
+/// Runs k-means on `xs` (rows = samples).
+pub fn kmeans(xs: &[Vec<f32>], cfg: &KMeansConfig) -> KMeansModel {
+    assert!(cfg.k >= 1 && xs.len() >= cfg.k, "need ≥k samples");
+    let d = xs[0].len();
+    let mut rng = Rng::seed(cfg.seed);
+    let mut centroids = init_pp(xs, cfg.k, &mut rng);
+    let mut assignments = vec![0usize; xs.len()];
+    let mut iterations = 0;
+
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        // Assignment step (parallel).
+        assignments = xs
+            .par_iter()
+            .map(|x| nearest(x, &centroids).0)
+            .collect();
+
+        // Update step: per-cluster sums (parallel fold over chunks).
+        let (sums, counts) = xs
+            .par_iter()
+            .zip(assignments.par_iter())
+            .fold(
+                || (vec![vec![0.0f64; d]; cfg.k], vec![0usize; cfg.k]),
+                |(mut sums, mut counts), (x, &a)| {
+                    counts[a] += 1;
+                    for (s, &v) in sums[a].iter_mut().zip(x) {
+                        *s += v as f64;
+                    }
+                    (sums, counts)
+                },
+            )
+            .reduce(
+                || (vec![vec![0.0f64; d]; cfg.k], vec![0usize; cfg.k]),
+                |(mut sa, mut ca), (sb, cb)| {
+                    for (a, b) in sa.iter_mut().zip(sb) {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                    }
+                    for (a, b) in ca.iter_mut().zip(cb) {
+                        *a += b;
+                    }
+                    (sa, ca)
+                },
+            );
+
+        let mut movement = 0.0f32;
+        for c in 0..cfg.k {
+            if counts[c] == 0 {
+                continue; // keep the old centroid for empty clusters
+            }
+            let new: Vec<f32> = sums[c]
+                .iter()
+                .map(|&s| (s / counts[c] as f64) as f32)
+                .collect();
+            movement += sq_dist(&new, &centroids[c]).sqrt();
+            centroids[c] = new;
+        }
+        if movement < cfg.tol {
+            break;
+        }
+    }
+
+    let inertia: f64 = xs
+        .par_iter()
+        .zip(assignments.par_iter())
+        .map(|(x, &a)| sq_dist(x, &centroids[a]) as f64)
+        .sum();
+
+    KMeansModel {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, centers: &[(f32, f32)], seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = Rng::seed(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let c = rng.below(centers.len());
+            xs.push(vec![
+                centers[c].0 + rng.normal() * 0.3,
+                centers[c].1 + rng.normal() * 0.3,
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let centers = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)];
+        let (xs, truth) = blobs(300, &centers, 1);
+        let model = kmeans(
+            &xs,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        // Majority label per cluster must be pure.
+        for c in 0..3 {
+            let members: Vec<usize> = model
+                .assignments
+                .iter()
+                .zip(&truth)
+                .filter(|(&a, _)| a == c)
+                .map(|(_, &t)| t)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut counts = [0usize; 3];
+            for &t in &members {
+                counts[t] += 1;
+            }
+            let purity = *counts.iter().max().unwrap() as f64 / members.len() as f64;
+            assert!(purity > 0.95, "cluster {c} purity {purity}");
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (xs, _) = blobs(200, &[(0.0, 0.0), (4.0, 4.0)], 2);
+        let i1 = kmeans(&xs, &KMeansConfig { k: 1, ..Default::default() }).inertia;
+        let i2 = kmeans(&xs, &KMeansConfig { k: 2, ..Default::default() }).inertia;
+        let i4 = kmeans(&xs, &KMeansConfig { k: 4, ..Default::default() }).inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, _) = blobs(100, &[(0.0, 0.0), (3.0, 3.0)], 3);
+        let a = kmeans(&xs, &KMeansConfig::default());
+        let b = kmeans(&xs, &KMeansConfig::default());
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn converges_before_max_iters_on_easy_data() {
+        let (xs, _) = blobs(200, &[(0.0, 0.0), (8.0, 8.0)], 4);
+        let model = kmeans(&xs, &KMeansConfig { k: 2, ..Default::default() });
+        assert!(model.iterations < 100, "took {} iterations", model.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "need ≥k samples")]
+    fn too_few_samples_rejected() {
+        let _ = kmeans(&[vec![0.0]], &KMeansConfig { k: 2, ..Default::default() });
+    }
+}

@@ -1,0 +1,93 @@
+//! Classification metrics.
+
+/// Confusion matrix: `m[actual][predicted]`.
+pub fn confusion_matrix(actual: &[usize], predicted: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(actual.len(), predicted.len());
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&a, &p) in actual.iter().zip(predicted) {
+        assert!(a < classes && p < classes, "label out of range");
+        m[a][p] += 1;
+    }
+    m
+}
+
+/// Overall accuracy.
+pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a == p)
+        .count() as f64
+        / actual.len() as f64
+}
+
+/// Macro-averaged F1 over all classes (classes absent from both actual
+/// and predicted are skipped).
+pub fn macro_f1(actual: &[usize], predicted: &[usize], classes: usize) -> f64 {
+    let m = confusion_matrix(actual, predicted, classes);
+    let mut f1s = Vec::new();
+    for c in 0..classes {
+        let tp = m[c][c];
+        let fp: usize = (0..classes).filter(|&r| r != c).map(|r| m[r][c]).sum();
+        let fn_: usize = (0..classes).filter(|&p| p != c).map(|p| m[c][p]).sum();
+        if tp + fp + fn_ == 0 {
+            continue;
+        }
+        let precision = tp as f64 / (tp + fp).max(1) as f64;
+        let recall = tp as f64 / (tp + fn_).max(1) as f64;
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        f1s.push(f1);
+    }
+    if f1s.is_empty() {
+        0.0
+    } else {
+        f1s.iter().sum::<f64>() / f1s.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_cells() {
+        let m = confusion_matrix(&[0, 0, 1, 1, 2], &[0, 1, 1, 1, 0], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[2][0], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 1, 2], &[2, 1, 0]), 1.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_f1_is_one() {
+        let y = [0usize, 1, 2, 0, 1, 2];
+        assert!((macro_f1(&y, &y, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_penalises_class_collapse() {
+        // Predicting everything as class 0 on balanced 2-class data.
+        let actual = [0usize, 0, 1, 1];
+        let pred = [0usize, 0, 0, 0];
+        let f1 = macro_f1(&actual, &pred, 2);
+        assert!(f1 < 0.5, "collapsed predictor should score badly: {f1}");
+        assert_eq!(accuracy(&actual, &pred), 0.5);
+    }
+}

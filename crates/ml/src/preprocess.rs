@@ -1,0 +1,112 @@
+//! Feature preprocessing: standardisation (fit on train, apply to test —
+//! the hygiene every SVM/k-means pipeline needs).
+
+/// Per-feature standardiser: `x → (x − μ) / σ`.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    pub means: Vec<f32>,
+    pub stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on `xs` (rows = samples).
+    pub fn fit(xs: &[Vec<f32>]) -> Self {
+        assert!(!xs.is_empty(), "cannot fit on an empty set");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "ragged feature rows");
+        let n = xs.len() as f64;
+        let mut means = vec![0.0f64; d];
+        for x in xs {
+            for (m, &v) in means.iter_mut().zip(x) {
+                *m += v as f64;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; d];
+        for x in xs {
+            for ((va, &v), &m) in vars.iter_mut().zip(x).zip(&means) {
+                *va += (v as f64 - m).powi(2);
+            }
+        }
+        StandardScaler {
+            means: means.iter().map(|&m| m as f32).collect(),
+            stds: vars
+                .iter()
+                .map(|&v| ((v / n).sqrt() as f32).max(1e-12))
+                .collect(),
+        }
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, x: &mut [f32]) {
+        assert_eq!(x.len(), self.means.len());
+        for ((v, &m), &s) in x.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transforms a whole set, returning a new matrix.
+    pub fn transform(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        xs.iter()
+            .map(|x| {
+                let mut row = x.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect()
+    }
+
+    /// Fit + transform in one call.
+    pub fn fit_transform(xs: &[Vec<f32>]) -> (Self, Vec<Vec<f32>>) {
+        let scaler = Self::fit(xs);
+        let out = scaler.transform(xs);
+        (scaler, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_train_set_is_standardised() {
+        let xs = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let (_, t) = StandardScaler::fit_transform(&xs);
+        for f in 0..2 {
+            let mean: f32 = t.iter().map(|r| r[f]).sum::<f32>() / 4.0;
+            let var: f32 = t.iter().map(|r| (r[f] - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6, "feature {f} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-5, "feature {f} var {var}");
+        }
+    }
+
+    #[test]
+    fn test_set_uses_train_statistics() {
+        let train = vec![vec![0.0], vec![10.0]];
+        let scaler = StandardScaler::fit(&train);
+        let test = scaler.transform(&[vec![5.0]]);
+        assert!(test[0][0].abs() < 1e-6, "train mean maps to 0");
+        let far = scaler.transform(&[vec![20.0]]);
+        assert!(far[0][0] > 2.0, "out-of-range values extrapolate");
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let xs = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let (_, t) = StandardScaler::fit_transform(&xs);
+        assert!(t.iter().all(|r| r[0].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_rejected() {
+        let _ = StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,458 @@
+//! Kernel SVM with SMO training and the parallel cascade SVM.
+//!
+//! The cascade SVM (Graf et al., used by Cavallaro et al. for RS image
+//! classification on JUWELS CPUs) exploits that an SVM solution depends
+//! only on its support vectors: split the data into `k` partitions, train
+//! `k` SVMs in parallel, merge the resulting support-vector sets pairwise
+//! up a binary tree, retraining at each node. The top-level SVM is close
+//! to the full solution at a fraction of the serial cost, because each
+//! subproblem is much smaller than the whole (SMO is superlinear in n).
+
+use rayon::prelude::*;
+use tensor::Rng;
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    Linear,
+    /// `exp(−γ‖x−y‖²)`
+    Rbf { gamma: f32 },
+    /// `(x·y + c0)^degree`
+    Poly { degree: i32, coef0: f32 },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match *self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Poly { degree, coef0 } => {
+                let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                (dot + coef0).powi(degree)
+            }
+        }
+    }
+}
+
+/// Hyper-parameters for SMO.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    pub kernel: Kernel,
+    /// Soft-margin penalty.
+    pub c: f32,
+    /// KKT violation tolerance.
+    pub tol: f32,
+    /// Number of full passes without an update before stopping.
+    pub max_passes: usize,
+    /// Hard cap on optimisation sweeps.
+    pub max_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            c: 1.0,
+            tol: 1e-3,
+            max_passes: 5,
+            max_iters: 200,
+            seed: 12345,
+        }
+    }
+}
+
+/// A trained binary SVM: support vectors with coefficients `αᵢyᵢ` and
+/// bias. Labels are ±1.
+#[derive(Debug, Clone)]
+pub struct Svm {
+    pub kernel: Kernel,
+    pub support_vectors: Vec<Vec<f32>>,
+    /// αᵢ·yᵢ per support vector.
+    pub coeffs: Vec<f32>,
+    /// Labels of the support vectors (needed for cascade merging).
+    pub sv_labels: Vec<f32>,
+    pub bias: f32,
+}
+
+impl Svm {
+    /// Trains a binary SVM with SMO. `labels` must be ±1.
+    pub fn train(xs: &[Vec<f32>], labels: &[f32], cfg: &SvmConfig) -> Svm {
+        let n = xs.len();
+        assert_eq!(labels.len(), n, "one label per sample");
+        assert!(n >= 2, "need at least two samples");
+        for &l in labels {
+            assert!(l == 1.0 || l == -1.0, "labels must be ±1, got {l}");
+        }
+
+        // Precompute the kernel matrix (subproblems are small by design;
+        // the cascade keeps them small for large datasets).
+        let k: Vec<Vec<f32>> = xs
+            .par_iter()
+            .map(|xi| xs.iter().map(|xj| cfg.kernel.eval(xi, xj)).collect())
+            .collect();
+
+        let mut alphas = vec![0.0f32; n];
+        let mut b = 0.0f32;
+        let mut rng = Rng::seed(cfg.seed);
+        let f = |alphas: &[f32], b: f32, i: usize| -> f32 {
+            let mut s = b;
+            for j in 0..n {
+                if alphas[j] != 0.0 {
+                    s += alphas[j] * labels[j] * k[i][j];
+                }
+            }
+            s
+        };
+
+        let mut passes = 0;
+        let mut iters = 0;
+        while passes < cfg.max_passes && iters < cfg.max_iters {
+            iters += 1;
+            let mut changed = 0;
+            for i in 0..n {
+                let ei = f(&alphas, b, i) - labels[i];
+                let r = labels[i] * ei;
+                if (r < -cfg.tol && alphas[i] < cfg.c) || (r > cfg.tol && alphas[i] > 0.0) {
+                    // Second index: random ≠ i (Platt's simplified rule).
+                    let mut j = rng.below(n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let ej = f(&alphas, b, j) - labels[j];
+                    let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                    let (lo, hi) = if labels[i] != labels[j] {
+                        (
+                            (aj_old - ai_old).max(0.0),
+                            (cfg.c + aj_old - ai_old).min(cfg.c),
+                        )
+                    } else {
+                        (
+                            (ai_old + aj_old - cfg.c).max(0.0),
+                            (ai_old + aj_old).min(cfg.c),
+                        )
+                    };
+                    if lo >= hi {
+                        continue;
+                    }
+                    let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                    if eta >= 0.0 {
+                        continue;
+                    }
+                    let mut aj = aj_old - labels[j] * (ei - ej) / eta;
+                    aj = aj.clamp(lo, hi);
+                    if (aj - aj_old).abs() < 1e-5 {
+                        continue;
+                    }
+                    let ai = ai_old + labels[i] * labels[j] * (aj_old - aj);
+                    alphas[i] = ai;
+                    alphas[j] = aj;
+
+                    let b1 = b - ei
+                        - labels[i] * (ai - ai_old) * k[i][i]
+                        - labels[j] * (aj - aj_old) * k[i][j];
+                    let b2 = b - ej
+                        - labels[i] * (ai - ai_old) * k[i][j]
+                        - labels[j] * (aj - aj_old) * k[j][j];
+                    b = if ai > 0.0 && ai < cfg.c {
+                        b1
+                    } else if aj > 0.0 && aj < cfg.c {
+                        b2
+                    } else {
+                        (b1 + b2) / 2.0
+                    };
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        let mut support_vectors = Vec::new();
+        let mut coeffs = Vec::new();
+        let mut sv_labels = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-7 {
+                support_vectors.push(xs[i].clone());
+                coeffs.push(alphas[i] * labels[i]);
+                sv_labels.push(labels[i]);
+            }
+        }
+        Svm {
+            kernel: cfg.kernel,
+            support_vectors,
+            coeffs,
+            sv_labels,
+            bias: b,
+        }
+    }
+
+    /// Decision value (distance-proportional score).
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        let mut s = self.bias;
+        for (sv, &c) in self.support_vectors.iter().zip(&self.coeffs) {
+            s += c * self.kernel.eval(sv, x);
+        }
+        s
+    }
+
+    /// Predicted label ±1.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, xs: &[Vec<f32>], labels: &[f32]) -> f64 {
+        let correct = xs
+            .par_iter()
+            .zip(labels.par_iter())
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len().max(1) as f64
+    }
+
+    /// Number of support vectors.
+    pub fn n_support(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+/// Statistics of a cascade run.
+#[derive(Debug, Clone)]
+pub struct CascadeReport {
+    pub model: Svm,
+    /// Support-vector counts at each cascade level (level 0 = leaves).
+    pub sv_per_level: Vec<usize>,
+    /// Number of leaf partitions (the "MPI ranks").
+    pub partitions: usize,
+}
+
+/// Trains a cascade SVM with `partitions` parallel leaf problems.
+///
+/// Leaves train concurrently on rayon (standing in for the MPI ranks of
+/// the original package); merge levels halve the set count by training on
+/// unions of support vectors until one model remains.
+pub fn cascade_svm(
+    xs: &[Vec<f32>],
+    labels: &[f32],
+    partitions: usize,
+    cfg: &SvmConfig,
+) -> CascadeReport {
+    assert!(partitions >= 1);
+    assert_eq!(xs.len(), labels.len());
+    let n = xs.len();
+    assert!(
+        n >= 2 * partitions,
+        "need ≥2 samples per partition ({n} for {partitions})"
+    );
+
+    // Leaf problems: contiguous chunks (the data is generated shuffled).
+    let chunk = n.div_ceil(partitions);
+    let mut sets: Vec<(Vec<Vec<f32>>, Vec<f32>)> = (0..partitions)
+        .into_par_iter()
+        .map(|p| {
+            let lo = p * chunk;
+            let hi = ((p + 1) * chunk).min(n);
+            let sub_cfg = SvmConfig {
+                seed: cfg.seed ^ (p as u64 + 1),
+                ..cfg.clone()
+            };
+            let svm = Svm::train(&xs[lo..hi], &labels[lo..hi], &sub_cfg);
+            (svm.support_vectors, svm.sv_labels)
+        })
+        .collect();
+
+    let mut sv_per_level = vec![sets.iter().map(|(v, _)| v.len()).sum()];
+
+    // Merge pairwise up the tree.
+    while sets.len() > 1 {
+        sets = sets
+            .par_chunks(2)
+            .map(|pair| {
+                if pair.len() == 1 {
+                    return pair[0].clone();
+                }
+                let mut xs_m = pair[0].0.clone();
+                xs_m.extend(pair[1].0.iter().cloned());
+                let mut ys_m = pair[0].1.clone();
+                ys_m.extend(pair[1].1.iter().cloned());
+                // Degenerate merge (all one class) — pass through.
+                if ys_m.iter().all(|&y| y == ys_m[0]) {
+                    return (xs_m, ys_m);
+                }
+                let svm = Svm::train(&xs_m, &ys_m, cfg);
+                (svm.support_vectors, svm.sv_labels)
+            })
+            .collect();
+        sv_per_level.push(sets.iter().map(|(v, _)| v.len()).sum());
+    }
+
+    let (fx, fy) = &sets[0];
+    let model = Svm::train(fx, fy, cfg);
+    CascadeReport {
+        model,
+        sv_per_level,
+        partitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two Gaussian blobs, linearly separable-ish.
+    fn blobs(n: usize, sep: f32, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = Rng::seed(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            xs.push(vec![
+                rng.normal() + y * sep,
+                rng.normal() - y * sep * 0.5,
+            ]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    /// XOR-style data: only separable with a non-linear kernel.
+    fn xor(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = Rng::seed(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.uniform(-1.0, 1.0);
+            let b = rng.uniform(-1.0, 1.0);
+            xs.push(vec![a, b]);
+            ys.push(if a * b > 0.0 { 1.0 } else { -1.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        let (xs, ys) = blobs(120, 2.0, 1);
+        let cfg = SvmConfig {
+            kernel: Kernel::Linear,
+            ..Default::default()
+        };
+        let svm = Svm::train(&xs, &ys, &cfg);
+        assert!(svm.accuracy(&xs, &ys) > 0.95);
+        assert!(svm.n_support() < xs.len(), "not every point is an SV");
+    }
+
+    #[test]
+    fn rbf_svm_solves_xor_linear_cannot() {
+        let (xs, ys) = xor(200, 2);
+        let lin = Svm::train(
+            &xs,
+            &ys,
+            &SvmConfig {
+                kernel: Kernel::Linear,
+                ..Default::default()
+            },
+        );
+        let rbf = Svm::train(
+            &xs,
+            &ys,
+            &SvmConfig {
+                kernel: Kernel::Rbf { gamma: 2.0 },
+                ..Default::default()
+            },
+        );
+        assert!(lin.accuracy(&xs, &ys) < 0.75, "linear can't solve XOR");
+        assert!(rbf.accuracy(&xs, &ys) > 0.9, "RBF should solve XOR");
+    }
+
+    #[test]
+    fn kernels_evaluate_correctly() {
+        let a = [1.0, 2.0];
+        let b = [3.0, -1.0];
+        assert_eq!(Kernel::Linear.eval(&a, &b), 1.0);
+        let rbf = Kernel::Rbf { gamma: 0.1 }.eval(&a, &b);
+        assert!((rbf - (-0.1f32 * 13.0).exp()).abs() < 1e-6);
+        let poly = Kernel::Poly {
+            degree: 2,
+            coef0: 1.0,
+        }
+        .eval(&a, &b);
+        assert_eq!(poly, 4.0);
+        // RBF of identical points is exactly 1.
+        assert_eq!(Kernel::Rbf { gamma: 1.0 }.eval(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn cascade_matches_full_svm_accuracy() {
+        let (xs, ys) = blobs(400, 1.2, 3);
+        let (test_x, test_y) = blobs(200, 1.2, 4);
+        let cfg = SvmConfig {
+            kernel: Kernel::Rbf { gamma: 0.7 },
+            ..Default::default()
+        };
+        let full = Svm::train(&xs, &ys, &cfg);
+        let cascade = cascade_svm(&xs, &ys, 4, &cfg);
+        let acc_full = full.accuracy(&test_x, &test_y);
+        let acc_casc = cascade.model.accuracy(&test_x, &test_y);
+        assert!(acc_full > 0.9);
+        assert!(
+            acc_casc > acc_full - 0.05,
+            "cascade degraded too much: {acc_casc} vs {acc_full}"
+        );
+        // The cascade must have compressed: final SVs ≪ dataset.
+        assert!(cascade.model.n_support() < xs.len() / 2);
+        assert_eq!(cascade.partitions, 4);
+        assert_eq!(cascade.sv_per_level.len(), 3); // 4 → 2 → 1
+    }
+
+    #[test]
+    fn cascade_single_partition_equals_full_training() {
+        let (xs, ys) = blobs(100, 1.5, 5);
+        let cfg = SvmConfig::default();
+        let full = Svm::train(&xs, &ys, &cfg);
+        let casc = cascade_svm(&xs, &ys, 1, &cfg);
+        // One leaf, then a final retrain on its SVs — decision values
+        // should agree in sign everywhere on the training set.
+        let agree = xs
+            .iter()
+            .filter(|x| full.predict(x) == casc.model.predict(x))
+            .count();
+        assert!(agree as f64 / xs.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn decision_is_symmetric_for_swapped_labels() {
+        let (xs, ys) = blobs(80, 1.5, 6);
+        let flipped: Vec<f32> = ys.iter().map(|y| -y).collect();
+        let cfg = SvmConfig {
+            kernel: Kernel::Linear,
+            ..Default::default()
+        };
+        let m1 = Svm::train(&xs, &ys, &cfg);
+        let m2 = Svm::train(&xs, &flipped, &cfg);
+        // Same accuracy on their respective labelings.
+        assert!((m1.accuracy(&xs, &ys) - m2.accuracy(&xs, &flipped)).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn non_pm1_labels_rejected() {
+        let _ = Svm::train(
+            &[vec![0.0], vec![1.0]],
+            &[0.0, 1.0],
+            &SvmConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! MSA modules: homogeneous parallel clusters of one node type, each
+//! tailored to a class of computation, joined into one system by the
+//! network federation ([`crate::system`]).
+
+use crate::hw::{MemoryKind, NodeSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a module within one [`crate::system::MsaSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleId(pub usize);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// The module kinds of the MSA (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// Cluster Module: multi-core CPUs, fast single-thread performance,
+    /// good memory; for low/medium-scalable codes with high data
+    /// management demands.
+    Cluster,
+    /// Extreme Scale Booster: many-core / GPU nodes for highly scalable
+    /// regular codes; its fabric hosts the Global Collective Engine.
+    Booster,
+    /// Data Analytics Module: GPUs + FPGAs + very large memory for
+    /// HPDA stacks (Spark et al.) and DL.
+    DataAnalytics,
+    /// Scalable Storage Service Module: parallel file system (Lustre/GPFS).
+    Storage,
+    /// Network Attached Memory prototype: shared datasets over the fabric.
+    Nam,
+    /// Quantum Module: quantum annealer for ML optimisation problems.
+    Quantum,
+}
+
+impl ModuleKind {
+    /// Short code used in reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            ModuleKind::Cluster => "CM",
+            ModuleKind::Booster => "ESB",
+            ModuleKind::DataAnalytics => "DAM",
+            ModuleKind::Storage => "SSSM",
+            ModuleKind::Nam => "NAM",
+            ModuleKind::Quantum => "QM",
+        }
+    }
+
+    /// All kinds, for iteration in reports and tests.
+    pub fn all() -> [ModuleKind; 6] {
+        [
+            ModuleKind::Cluster,
+            ModuleKind::Booster,
+            ModuleKind::DataAnalytics,
+            ModuleKind::Storage,
+            ModuleKind::Nam,
+            ModuleKind::Quantum,
+        ]
+    }
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One module: `node_count` identical nodes of `node` spec, plus a
+/// module-internal interconnect description.
+#[derive(Debug, Clone, Serialize)]
+pub struct Module {
+    pub id: ModuleId,
+    pub kind: ModuleKind,
+    pub name: String,
+    pub node: NodeSpec,
+    pub node_count: usize,
+    /// Whether the module fabric includes a Global Collective Engine
+    /// (FPGA offload of MPI collectives) — true for the DEEP ESB.
+    pub has_gce: bool,
+    /// For Quantum modules: number of qubits of the attached annealer.
+    pub qubits: Option<usize>,
+    /// For Quantum modules: number of couplers of the attached annealer.
+    pub couplers: Option<usize>,
+}
+
+impl Module {
+    /// Total CPU cores in the module.
+    pub fn total_cpu_cores(&self) -> u64 {
+        self.node.cpu_cores() as u64 * self.node_count as u64
+    }
+
+    /// Total GPUs in the module.
+    pub fn total_gpus(&self) -> u64 {
+        self.node.gpu_count() as u64 * self.node_count as u64
+    }
+
+    /// Aggregate peak DL throughput in TFLOP/s.
+    pub fn total_dl_tflops(&self) -> f64 {
+        self.node.dl_tflops() * self.node_count as f64
+    }
+
+    /// Aggregate DDR memory in GiB.
+    pub fn total_ddr_gib(&self) -> f64 {
+        self.node.ddr_gib() * self.node_count as f64
+    }
+
+    /// Aggregate capacity of a given memory tier in GiB.
+    pub fn tier_capacity_gib(&self, kind: MemoryKind) -> f64 {
+        self.node
+            .memory
+            .iter()
+            .filter(|m| m.kind == kind)
+            .map(|m| m.capacity_gib)
+            .sum::<f64>()
+            * self.node_count as f64
+    }
+
+    /// Peak power of the whole module in kW.
+    pub fn peak_power_kw(&self) -> f64 {
+        self.node.peak_power_w() * self.node_count as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::catalog;
+
+    fn dam() -> Module {
+        Module {
+            id: ModuleId(0),
+            kind: ModuleKind::DataAnalytics,
+            name: "DEEP DAM".into(),
+            node: catalog::deep_dam_node(),
+            node_count: 16,
+            has_gce: false,
+            qubits: None,
+            couplers: None,
+        }
+    }
+
+    #[test]
+    fn dam_aggregates_match_paper() {
+        let m = dam();
+        // 16 nodes × 1 V100 = 16 GPUs; 16 × 2 × 1.5 TB NVMe = 48 TB
+        // (paper says "aggregated 32 TB of NVM" counting 2 TB usable/node).
+        assert_eq!(m.total_gpus(), 16);
+        assert_eq!(m.total_cpu_cores(), 16 * 48);
+        assert_eq!(m.tier_capacity_gib(MemoryKind::Nvm), 16.0 * 3072.0);
+    }
+
+    #[test]
+    fn kind_codes_are_unique() {
+        let codes: std::collections::HashSet<_> =
+            ModuleKind::all().iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn power_scales_with_node_count() {
+        let mut m = dam();
+        let p16 = m.peak_power_kw();
+        m.node_count = 32;
+        assert!((m.peak_power_kw() - 2.0 * p16).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,228 @@
+//! Human-readable reports: the Table-I-style technical specification and
+//! the Fig.-2-style workload/module affinity matrix. These back experiment
+//! targets E1 and E2 in `crates/bench`.
+
+use crate::module::{Module, ModuleKind};
+use crate::system::MsaSystem;
+use crate::workload::{WorkloadClass, WorkloadProfile};
+use std::fmt::Write as _;
+
+/// Renders a Table-I-style specification block for one module.
+pub fn module_spec_table(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TECHNICAL SPECIFICATIONS OF {}", m.name.to_uppercase());
+    let _ = writeln!(
+        out,
+        "| CPU                   | {} nodes with {}x {} |",
+        m.node_count, m.node.sockets, m.node.cpu.name
+    );
+    for g in &m.node.gpus {
+        let _ = writeln!(
+            out,
+            "| Hardware Acceleration | {} {} GPU |",
+            m.node_count * m.node.gpus.len(),
+            g.name
+        );
+    }
+    for f in &m.node.fpgas {
+        let _ = writeln!(
+            out,
+            "| Hardware Acceleration | {} {} FPGA |",
+            m.node_count * m.node.fpgas.len(),
+            f.name
+        );
+    }
+    for mem in &m.node.memory {
+        let _ = writeln!(
+            out,
+            "| Memory                | {:.0} GB {:?} /node |",
+            mem.capacity_gib, mem.kind
+        );
+    }
+    for s in &m.node.storage {
+        let _ = writeln!(out, "| Storage               | {} |", s.name);
+    }
+    out
+}
+
+/// Renders the whole-system inventory: per-module node counts, cores,
+/// GPUs, aggregate DL throughput, memory, power.
+pub fn system_inventory(sys: &MsaSystem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SYSTEM INVENTORY: {}", sys.name);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>9} {:>7} {:>12} {:>11} {:>10}",
+        "module", "kind", "nodes", "cores", "GPUs", "DL TFLOP/s", "DDR GiB", "peak kW"
+    );
+    for m in &sys.modules {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>6} {:>9} {:>7} {:>12.0} {:>11.0} {:>10.1}",
+            m.name,
+            m.kind.code(),
+            m.node_count,
+            m.total_cpu_cores(),
+            m.total_gpus(),
+            m.total_dl_tflops(),
+            m.total_ddr_gib(),
+            m.peak_power_kw()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>9} {:>7}",
+        "TOTAL",
+        "",
+        sys.modules.iter().map(|m| m.node_count).sum::<usize>(),
+        sys.total_cpu_cores(),
+        sys.total_gpus()
+    );
+    out
+}
+
+/// One row of the affinity matrix.
+#[derive(Debug, Clone)]
+pub struct AffinityRow {
+    pub workload: String,
+    pub class: WorkloadClass,
+    /// (module name, time seconds, energy kWh) per compute module.
+    pub per_module: Vec<(String, f64, f64)>,
+    /// Name of the best module by energy-delay product — the MSA design
+    /// criterion is improving *both* time-to-solution and energy.
+    pub best: String,
+    /// Whether the best module matches the MSA's intended placement.
+    pub matches_design: bool,
+}
+
+/// Computes the Fig.-2-style affinity of each canonical workload class to
+/// each *compute* module of `sys` using `nodes` nodes each.
+pub fn affinity_matrix(sys: &MsaSystem, nodes: usize) -> Vec<AffinityRow> {
+    let compute_kinds = [
+        ModuleKind::Cluster,
+        ModuleKind::Booster,
+        ModuleKind::DataAnalytics,
+    ];
+    WorkloadClass::all()
+        .iter()
+        .filter(|c| !matches!(c, WorkloadClass::QuantumOptimization))
+        .map(|&class| {
+            let w = WorkloadProfile::canonical(class);
+            let mut per_module = Vec::new();
+            for m in &sys.modules {
+                if !compute_kinds.contains(&m.kind) {
+                    continue;
+                }
+                let n = nodes.min(m.node_count);
+                let t = w.time_on(m, n).as_secs();
+                let e = w.energy_on(m, n) / 3.6e6;
+                per_module.push((m.name.clone(), t, e));
+            }
+            let best = per_module
+                .iter()
+                .min_by(|a, b| (a.1 * a.2).total_cmp(&(b.1 * b.2)))
+                .map(|r| r.0.clone())
+                .unwrap_or_default();
+            let intended = class.intended_module();
+            let matches_design = sys
+                .modules
+                .iter()
+                .find(|m| m.name == best)
+                // DL inference intended for booster, but DAM is also a
+                // designed GPU target; accept any GPU module.
+                .map(|m| {
+                    m.kind == intended
+                        || (matches!(
+                            class,
+                            WorkloadClass::DlTraining | WorkloadClass::DlInference
+                        ) && m.node.gpu_count() > 0)
+                })
+                .unwrap_or(false);
+            AffinityRow {
+                workload: w.name,
+                class,
+                per_module,
+                best,
+                matches_design,
+            }
+        })
+        .collect()
+}
+
+/// Renders the affinity matrix as a table.
+pub fn affinity_report(sys: &MsaSystem, nodes: usize) -> String {
+    let rows = affinity_matrix(sys, nodes);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WORKLOAD/MODULE AFFINITY ({} nodes each): time-to-solution [s] (energy [kWh])",
+        nodes
+    );
+    for row in &rows {
+        let _ = write!(out, "{:<28}", row.workload);
+        for (name, t, e) in &row.per_module {
+            let _ = write!(out, " | {name}: {t:>10.1}s ({e:.2} kWh)");
+        }
+        let _ = writeln!(
+            out,
+            " -> best: {} {}",
+            row.best,
+            if row.matches_design {
+                "[as designed]"
+            } else {
+                "[MISMATCH]"
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::presets;
+
+    #[test]
+    fn table_i_contains_paper_lines() {
+        let d = presets::deep();
+        let dam = d.module_of_kind(ModuleKind::DataAnalytics).unwrap();
+        let t = module_spec_table(dam);
+        assert!(t.contains("16 nodes with 2x Intel Xeon Cascade Lake"));
+        assert!(t.contains("16 NVIDIA V100 GPU"));
+        assert!(t.contains("16 Intel Stratix 10 FPGA"));
+        assert!(t.contains("384 GB Ddr /node"));
+        assert!(t.contains("2x 1.5 TB NVMe SSD"));
+    }
+
+    #[test]
+    fn inventory_lists_every_module() {
+        let j = presets::juwels();
+        let inv = system_inventory(&j);
+        for m in &j.modules {
+            assert!(inv.contains(&m.name), "inventory missing {}", m.name);
+        }
+        assert!(inv.contains("TOTAL"));
+    }
+
+    #[test]
+    fn affinity_matches_msa_design_for_every_class() {
+        let d = presets::deep();
+        let rows = affinity_matrix(&d, 64);
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(
+                row.matches_design,
+                "{:?} landed on {} contrary to the MSA design",
+                row.class, row.best
+            );
+        }
+    }
+
+    #[test]
+    fn affinity_report_renders() {
+        let d = presets::deep();
+        let rep = affinity_report(&d, 64);
+        assert!(rep.contains("[as designed]"));
+        assert!(!rep.contains("[MISMATCH]"));
+    }
+}

@@ -1,0 +1,249 @@
+//! MPI-style collective algorithms over any [`PointToPoint`] transport.
+//!
+//! These are the textbook algorithms the paper's software stack (MPI +
+//! Horovod) relies on:
+//!
+//! * [`ring_allreduce`] — bandwidth-optimal chunked ring (reduce-scatter
+//!   followed by allgather), Horovod's workhorse for large gradient
+//!   tensors;
+//! * [`recursive_doubling_allreduce`] — latency-optimal for small
+//!   messages, log₂(p) rounds (handles non-power-of-two sizes with a
+//!   fold-in pre/post phase);
+//! * [`binomial_broadcast`] / [`tree_reduce`] — log₂(p) tree collectives;
+//! * [`ring_allgather`] and the [`dissemination_barrier`].
+//!
+//! All functions must be called collectively by every rank; the
+//! point-to-point `send` is buffered so the send-then-receive schedules
+//! below cannot deadlock.
+
+use crate::comm::PointToPoint;
+
+/// Splits `len` elements into `parts` contiguous ranges as evenly as
+/// possible (first `len % parts` ranges get one extra element).
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(parts > 0);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Bandwidth-optimal ring allreduce (sum). After the call every rank
+/// holds the element-wise sum over all ranks.
+///
+/// Two phases of `p − 1` steps each: reduce-scatter (each rank ends up
+/// owning the fully-reduced chunk `(rank + 1) mod p`), then ring
+/// allgather of the reduced chunks. Total bytes sent per rank:
+/// `2 (p−1)/p · n` — independent of `p` for large `n`, which is why
+/// Horovod scales to hundreds of GPUs.
+pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
+    let p = c.size();
+    if p == 1 || buf.is_empty() {
+        return;
+    }
+    let rank = c.rank();
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    let chunks = chunk_ranges(buf.len(), p);
+
+    // Reduce-scatter: in step s we send chunk (rank − s) and accumulate
+    // chunk (rank − s − 1) arriving from the left.
+    for s in 0..p - 1 {
+        let send_idx = (rank + p - s) % p;
+        let recv_idx = (rank + p - s - 1) % p;
+        c.send(right, buf[chunks[send_idx].clone()].to_vec());
+        let incoming = c.recv(left);
+        let dst = &mut buf[chunks[recv_idx].clone()];
+        debug_assert_eq!(incoming.len(), dst.len());
+        for (d, x) in dst.iter_mut().zip(&incoming) {
+            *d += x;
+        }
+    }
+
+    // Allgather: circulate the reduced chunks. Rank r owns chunk (r+1).
+    for s in 0..p - 1 {
+        let send_idx = (rank + 1 + p - s) % p;
+        let recv_idx = (rank + p - s) % p;
+        c.send(right, buf[chunks[send_idx].clone()].to_vec());
+        let incoming = c.recv(left);
+        buf[chunks[recv_idx].clone()].copy_from_slice(&incoming);
+    }
+}
+
+/// Latency-optimal recursive-doubling allreduce (sum): ⌈log₂ p⌉ rounds of
+/// pairwise exchanges. Non-power-of-two sizes are handled by folding the
+/// `p − 2^⌊log₂ p⌋` extra ranks into partners before/after the core phase.
+pub fn recursive_doubling_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
+    let p = c.size();
+    if p == 1 || buf.is_empty() {
+        return;
+    }
+    let rank = c.rank();
+    let p2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+    let rem = p - p2;
+
+    // Fold-in: ranks in [p2, p) send to (rank − p2) and sit out.
+    let participating = if rank >= p2 {
+        c.send(rank - p2, buf.to_vec());
+        false
+    } else {
+        if rank < rem {
+            let incoming = c.recv(rank + p2);
+            for (d, x) in buf.iter_mut().zip(&incoming) {
+                *d += x;
+            }
+        }
+        true
+    };
+
+    if participating {
+        let mut mask = 1;
+        while mask < p2 {
+            let partner = rank ^ mask;
+            c.send(partner, buf.to_vec());
+            let incoming = c.recv(partner);
+            for (d, x) in buf.iter_mut().zip(&incoming) {
+                *d += x;
+            }
+            mask <<= 1;
+        }
+        if rank < rem {
+            c.send(rank + p2, buf.to_vec());
+        }
+    } else {
+        let incoming = c.recv(rank - p2);
+        buf.copy_from_slice(&incoming);
+    }
+}
+
+/// Binomial-tree broadcast from `root`: ⌈log₂ p⌉ rounds.
+pub fn binomial_broadcast<C: PointToPoint + ?Sized>(c: &C, buf: &mut Vec<f32>, root: usize) {
+    let p = c.size();
+    if p == 1 {
+        return;
+    }
+    let rank = c.rank();
+    let vrank = (rank + p - root) % p;
+
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            let src = ((vrank - mask) + root) % p;
+            *buf = c.recv(src);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        let dst_v = vrank + mask;
+        if dst_v < p {
+            c.send((dst_v + root) % p, buf.clone());
+        }
+        mask >>= 1;
+    }
+}
+
+/// Binomial-tree sum-reduction to `root`. On return `root`'s `buf` holds
+/// the global sum; other ranks' buffers hold partial sums (unspecified).
+pub fn tree_reduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize) {
+    let p = c.size();
+    if p == 1 {
+        return;
+    }
+    let rank = c.rank();
+    let vrank = (rank + p - root) % p;
+
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask == 0 {
+            let src_v = vrank | mask;
+            if src_v < p {
+                let incoming = c.recv((src_v + root) % p);
+                for (d, x) in buf.iter_mut().zip(&incoming) {
+                    *d += x;
+                }
+            }
+        } else {
+            let dst_v = vrank & !mask;
+            c.send((dst_v + root) % p, buf.to_vec());
+            break;
+        }
+        mask <<= 1;
+    }
+}
+
+/// Ring allgather: returns `result` where `result[r]` is rank `r`'s
+/// `mine` slice, identical on every rank.
+pub fn ring_allgather<C: PointToPoint + ?Sized>(c: &C, mine: &[f32]) -> Vec<Vec<f32>> {
+    let p = c.size();
+    let rank = c.rank();
+    let mut blocks: Vec<Vec<f32>> = vec![Vec::new(); p];
+    blocks[rank] = mine.to_vec();
+    if p == 1 {
+        return blocks;
+    }
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_idx = (rank + p - s) % p;
+        let recv_idx = (rank + p - s - 1) % p;
+        c.send(right, blocks[send_idx].clone());
+        blocks[recv_idx] = c.recv(left);
+    }
+    blocks
+}
+
+/// Dissemination barrier: ⌈log₂ p⌉ rounds; in round k each rank signals
+/// `(rank + 2^k) mod p` and waits for `(rank − 2^k) mod p`.
+pub fn dissemination_barrier<C: PointToPoint + ?Sized>(c: &C) {
+    let p = c.size();
+    if p == 1 {
+        return;
+    }
+    let rank = c.rank();
+    let mut dist = 1;
+    while dist < p {
+        c.send((rank + dist) % p, Vec::new());
+        let _ = c.recv((rank + p - dist) % p);
+        dist <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let ranges = chunk_ranges(len, parts);
+                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                }
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (
+                    *sizes.iter().min().unwrap(),
+                    *sizes.iter().max().unwrap(),
+                );
+                assert!(max - min <= 1, "chunks must be balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_ranges_zero_parts_panics() {
+        let _ = chunk_ranges(10, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Communicator traits.
+//!
+//! [`PointToPoint`] is the minimal transport (tagged send/recv between
+//! ranks); [`Communicator`] adds the collectives every distributed ML
+//! algorithm in this workspace is written against. The algorithms in
+//! [`crate::collectives`] provide the default implementations, so a
+//! transport only has to implement `send`/`recv`.
+
+use crate::collectives;
+
+/// Minimal reliable, ordered, tagged point-to-point transport between
+/// `size()` ranks.
+pub trait PointToPoint {
+    /// This endpoint's rank in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Sends `data` to rank `to`. Never blocks on the payload (buffered).
+    fn send(&self, to: usize, data: Vec<f32>);
+
+    /// Receives the next message from rank `from` (blocking, FIFO per
+    /// sender).
+    fn recv(&self, from: usize) -> Vec<f32>;
+}
+
+/// MPI-style collectives over a point-to-point transport.
+///
+/// All collectives must be called by **every** rank of the communicator
+/// (they are collective operations in the MPI sense); deadlock otherwise.
+pub trait Communicator: PointToPoint {
+    /// Element-wise sum-allreduce of `buf` across all ranks; on return
+    /// every rank holds the global sum. Uses the bandwidth-optimal ring
+    /// algorithm (what Horovod uses for large tensors).
+    fn allreduce_sum(&self, buf: &mut [f32]) {
+        collectives::ring_allreduce(self, buf);
+    }
+
+    /// Allreduce then divide by `size()` — gradient averaging.
+    fn allreduce_mean(&self, buf: &mut [f32]) {
+        self.allreduce_sum(buf);
+        let n = self.size() as f32;
+        for x in buf.iter_mut() {
+            *x /= n;
+        }
+    }
+
+    /// Broadcast `buf` from `root` to every rank (binomial tree).
+    fn broadcast(&self, buf: &mut Vec<f32>, root: usize) {
+        collectives::binomial_broadcast(self, buf, root);
+    }
+
+    /// Reduce (sum) to `root`; other ranks' `buf` is left unspecified.
+    fn reduce_sum(&self, buf: &mut [f32], root: usize) {
+        collectives::tree_reduce(self, buf, root);
+    }
+
+    /// Gathers each rank's `mine` into rank order on every rank.
+    fn allgather(&self, mine: &[f32]) -> Vec<Vec<f32>> {
+        collectives::ring_allgather(self, mine)
+    }
+
+    /// Synchronisation barrier (dissemination algorithm).
+    fn barrier(&self) {
+        collectives::dissemination_barrier(self);
+    }
+}
+
+/// Every point-to-point transport gets the collectives for free.
+impl<T: PointToPoint + ?Sized> Communicator for T {}
+
+/// A single-rank communicator: all collectives are no-ops. Useful for
+/// running distributed code paths serially.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SelfComm;
+
+impl PointToPoint for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn send(&self, _to: usize, _data: Vec<f32>) {
+        panic!("SelfComm has no peers to send to");
+    }
+    fn recv(&self, _from: usize) -> Vec<f32> {
+        panic!("SelfComm has no peers to receive from");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selfcomm_collectives_are_identity() {
+        let c = SelfComm;
+        let mut buf = vec![1.0, 2.0, 3.0];
+        c.allreduce_sum(&mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        c.allreduce_mean(&mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        let mut b = vec![4.0];
+        c.broadcast(&mut b, 0);
+        assert_eq!(b, vec![4.0]);
+        let g = c.allgather(&[7.0]);
+        assert_eq!(g, vec![vec![7.0]]);
+        c.barrier();
+    }
+
+    #[test]
+    #[should_panic(expected = "no peers")]
+    fn selfcomm_send_panics() {
+        SelfComm.send(1, vec![]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # msa-net
+//!
+//! The network layer of the MSA reproduction. Two halves:
+//!
+//! * **Real execution** — [`ThreadComm`] creates `n` communicator
+//!   endpoints connected by lock-free channels; [`collectives`]
+//!   implements MPI-style algorithms (ring allreduce as used by Horovod,
+//!   recursive doubling, binomial broadcast, barrier) *for real* on top of
+//!   point-to-point sends. `distrib` drives data-parallel SGD through this.
+//! * **Analytic cost models** — [`cost`] predicts the wall-clock of the
+//!   same collectives on given link parameters (α–β model), including the
+//!   DEEP Extreme Scale Booster's FPGA **Global Collective Engine**
+//!   (GCE), which offloads MPI reductions into the fabric. These feed the
+//!   large-scale scaling experiments (E3, E8).
+
+pub mod barrier;
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod fabric;
+pub mod hierarchical;
+pub mod thread_comm;
+
+pub use barrier::SenseBarrier;
+pub use comm::{Communicator, PointToPoint};
+pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};
+pub use cost::{CollectiveAlgo, LinkParams};
+pub use fabric::{simulate as simulate_fabric, FatTree, Flow, FlowResult};
+pub use thread_comm::ThreadComm;

@@ -1,0 +1,272 @@
+//! A real in-process communicator: `n` endpoints joined by a full mesh of
+//! lock-free channels. One OS thread per rank plays the role of one GPU
+//! worker in the Horovod-style experiments; the collectives from
+//! [`crate::collectives`] then run *for real* over these channels.
+
+use crate::comm::PointToPoint;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One endpoint of an `n`-way in-process communicator.
+///
+/// Create the full set with [`ThreadComm::create`] and move each endpoint
+/// into its own thread:
+///
+/// ```
+/// use msa_net::{Communicator, PointToPoint, ThreadComm};
+///
+/// let comms = ThreadComm::create(4);
+/// let handles: Vec<_> = comms
+///     .into_iter()
+///     .map(|c| {
+///         std::thread::spawn(move || {
+///             let mut grad = vec![c.rank() as f32; 8];
+///             c.allreduce_mean(&mut grad);
+///             grad[0]
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), (0.0 + 1.0 + 2.0 + 3.0) / 4.0);
+/// }
+/// ```
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    /// `senders[to]` feeds the (self → to) channel.
+    senders: Vec<Sender<Vec<f32>>>,
+    /// `receivers[from]` drains the (from → self) channel.
+    receivers: Vec<Receiver<Vec<f32>>>,
+}
+
+impl ThreadComm {
+    /// Builds `n` fully-connected endpoints. `n` must be ≥ 1.
+    pub fn create(n: usize) -> Vec<ThreadComm> {
+        assert!(n >= 1, "communicator needs at least one rank");
+        // mesh[i][j] = channel for i → j
+        let mut tx: Vec<Vec<Option<Sender<Vec<f32>>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        let mut rx: Vec<Vec<Option<Receiver<Vec<f32>>>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                let (s, r) = unbounded();
+                tx[i][j] = Some(s);
+                rx[i][j] = Some(r);
+            }
+        }
+        (0..n)
+            .map(|rank| ThreadComm {
+                rank,
+                size: n,
+                senders: tx[rank].iter_mut().map(|s| s.take().unwrap()).collect(),
+                receivers: (0..n).map(|from| rx[from][rank].take().unwrap()).collect(),
+            })
+            .collect()
+    }
+
+    /// Runs `f` on every rank of a fresh `n`-way communicator in parallel
+    /// and returns the per-rank results in rank order. Convenience wrapper
+    /// used heavily by tests and `distrib`.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::create(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .iter()
+                .map(|c| scope.spawn(|| f(c)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+}
+
+impl PointToPoint for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, data: Vec<f32>) {
+        assert!(to < self.size && to != self.rank, "invalid peer {to}");
+        // Unbounded channel: never blocks; peer death is a test bug.
+        self.senders[to]
+            .send(data)
+            .expect("peer endpoint dropped while communicator in use");
+    }
+
+    fn recv(&self, from: usize) -> Vec<f32> {
+        assert!(from < self.size && from != self.rank, "invalid peer {from}");
+        self.receivers[from]
+            .recv()
+            .expect("peer endpoint dropped while communicator in use")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives;
+    use crate::comm::Communicator;
+
+    #[test]
+    fn p2p_is_fifo_per_sender() {
+        let out = ThreadComm::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send(1, vec![i as f32]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| c.recv(0)[0]).collect::<Vec<f32>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_allreduce_sums_across_ranks() {
+        for p in [2usize, 3, 4, 7, 8] {
+            let out = ThreadComm::run(p, |c| {
+                // buf[i] = rank * 100 + i, so the sum is predictable.
+                let mut buf: Vec<f32> =
+                    (0..23).map(|i| (c.rank() * 100 + i) as f32).collect();
+                c.allreduce_sum(&mut buf);
+                buf
+            });
+            let expected: Vec<f32> = (0..23)
+                .map(|i| (0..p).map(|r| (r * 100 + i) as f32).sum())
+                .collect();
+            for (r, buf) in out.iter().enumerate() {
+                assert_eq!(buf, &expected, "rank {r} of {p} disagrees");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_handles_buffers_smaller_than_ranks() {
+        // 3 elements across 8 ranks: some chunks are empty.
+        let out = ThreadComm::run(8, |c| {
+            let mut buf = vec![c.rank() as f32; 3];
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        let total: f32 = (0..8).map(|r| r as f32).sum();
+        for buf in out {
+            assert_eq!(buf, vec![total; 3]);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_matches_ring_incl_non_pow2() {
+        for p in [2usize, 3, 4, 5, 6, 8, 12] {
+            let out = ThreadComm::run(p, |c| {
+                let mut buf: Vec<f32> = (0..17).map(|i| (c.rank() + i) as f32).collect();
+                collectives::recursive_doubling_allreduce(c, &mut buf);
+                buf
+            });
+            let expected: Vec<f32> = (0..17)
+                .map(|i| (0..p).map(|r| (r + i) as f32).sum())
+                .collect();
+            for buf in &out {
+                assert_eq!(buf, &expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let out = ThreadComm::run(4, |c| {
+            let mut buf = vec![(c.rank() + 1) as f32];
+            c.allreduce_mean(&mut buf);
+            buf[0]
+        });
+        for v in out {
+            assert_eq!(v, 2.5);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [2usize, 3, 5, 8] {
+            for root in 0..p {
+                let out = ThreadComm::run(p, |c| {
+                    let mut buf = if c.rank() == root {
+                        vec![42.0, 43.0, 44.0]
+                    } else {
+                        Vec::new()
+                    };
+                    c.broadcast(&mut buf, root);
+                    buf
+                });
+                for (r, buf) in out.iter().enumerate() {
+                    assert_eq!(buf, &vec![42.0, 43.0, 44.0], "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_reduce_collects_at_root() {
+        for p in [2usize, 3, 6, 8] {
+            for root in [0, p - 1] {
+                let out = ThreadComm::run(p, |c| {
+                    let mut buf = vec![2.0f32; 5];
+                    c.reduce_sum(&mut buf, root);
+                    (c.rank(), buf)
+                });
+                let at_root = out.iter().find(|(r, _)| *r == root).unwrap();
+                assert_eq!(at_root.1, vec![2.0 * p as f32; 5], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_returns_rank_ordered_blocks() {
+        for p in [1usize, 2, 5, 8] {
+            let out = ThreadComm::run(p, |c| {
+                let mine = vec![c.rank() as f32; c.rank() + 1]; // ragged
+                c.allgather(&mine)
+            });
+            for blocks in out {
+                assert_eq!(blocks.len(), p);
+                for (r, b) in blocks.iter().enumerate() {
+                    assert_eq!(b, &vec![r as f32; r + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes_for_odd_sizes() {
+        for p in [2usize, 3, 5, 9] {
+            let out = ThreadComm::run(p, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+                true
+            });
+            assert!(out.into_iter().all(|b| b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid peer")]
+    fn send_to_self_rejected() {
+        let comms = ThreadComm::create(2);
+        comms[0].send(0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ThreadComm::create(0);
+    }
+}

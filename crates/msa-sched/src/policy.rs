@@ -1,0 +1,111 @@
+//! Placement policies: which module should a job run on?
+
+use crate::job::JobSpec;
+use msa_core::module::ModuleId;
+use msa_core::system::MsaSystem;
+
+/// Chooses a module for a job (capacity permitting — the scheduler
+/// queues if the module is currently full).
+pub trait Placement {
+    /// Target module for `job` on `sys`. Must return a module with at
+    /// least `job.nodes` total nodes.
+    fn place(&self, job: &JobSpec, sys: &MsaSystem) -> ModuleId;
+}
+
+/// The MSA policy: run each job on the module the architecture intends
+/// for its workload class (falling back to the lowest-energy-delay
+/// compute module that is large enough).
+pub struct MsaPlacement;
+
+impl Placement for MsaPlacement {
+    fn place(&self, job: &JobSpec, sys: &MsaSystem) -> ModuleId {
+        let intended = job.class.intended_module();
+        if let Some(m) = sys
+            .modules_of_kind(intended)
+            .find(|m| m.node_count >= job.nodes)
+        {
+            return m.id;
+        }
+        // Fall back: best energy-delay product among big-enough modules.
+        sys.modules
+            .iter()
+            .filter(|m| m.node_count >= job.nodes && m.kind != msa_core::ModuleKind::Storage)
+            .min_by(|a, b| {
+                let ea = edp(job, a);
+                let eb = edp(job, b);
+                ea.total_cmp(&eb)
+            })
+            .map(|m| m.id)
+            .unwrap_or_else(|| panic!("no module can host {} nodes", job.nodes))
+    }
+}
+
+fn edp(job: &JobSpec, m: &msa_core::Module) -> f64 {
+    let n = job.nodes.min(m.node_count);
+    let t = job.profile.time_on(m, n).as_secs();
+    let e = job.profile.energy_on(m, n);
+    t * e
+}
+
+/// The baseline: a single homogeneous pool — every job goes to module 0.
+pub struct MonolithicPlacement;
+
+impl Placement for MonolithicPlacement {
+    fn place(&self, job: &JobSpec, sys: &MsaSystem) -> ModuleId {
+        let m = &sys.modules[0];
+        assert!(
+            m.node_count >= job.nodes,
+            "monolithic pool too small for {} nodes",
+            job.nodes
+        );
+        m.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_core::system::presets;
+    use msa_core::workload::WorkloadClass;
+    use msa_core::SimTime;
+
+    #[test]
+    fn msa_places_each_class_on_intended_module() {
+        let sys = presets::deep();
+        let policy = MsaPlacement;
+        for class in [
+            WorkloadClass::Simulation,
+            WorkloadClass::HighlyScalable,
+            WorkloadClass::DataAnalytics,
+            WorkloadClass::DlTraining,
+        ] {
+            let job = crate::job::JobSpec::scaled(0, class, 4, SimTime::ZERO, 100.0);
+            let id = policy.place(&job, &sys);
+            assert_eq!(sys.module(id).kind, class.intended_module(), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn msa_falls_back_when_intended_module_too_small() {
+        let sys = presets::deep();
+        // DAM has 16 nodes; a 32-node analytics job must go elsewhere.
+        let job = crate::job::JobSpec::scaled(
+            0,
+            WorkloadClass::DataAnalytics,
+            32,
+            SimTime::ZERO,
+            100.0,
+        );
+        let id = MsaPlacement.place(&job, &sys);
+        assert_ne!(sys.module(id).kind, msa_core::ModuleKind::Storage);
+        assert!(sys.module(id).node_count >= 32);
+    }
+
+    #[test]
+    fn monolithic_always_uses_first_module() {
+        let sys = presets::deep();
+        let job =
+            crate::job::JobSpec::scaled(0, WorkloadClass::DlTraining, 4, SimTime::ZERO, 100.0);
+        assert_eq!(MonolithicPlacement.place(&job, &sys), sys.modules[0].id);
+    }
+}

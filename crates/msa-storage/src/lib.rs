@@ -1,0 +1,19 @@
+//! # msa-storage
+//!
+//! The storage side of the MSA:
+//!
+//! * [`pfs`] — the Scalable Storage Service Module's parallel file system
+//!   (Lustre at DEEP, GPFS/JUST at JUWELS): files striped over object
+//!   storage targets, aggregate bandwidth shared by clients;
+//! * [`nam`] — the Network Attached Memory prototype and the staging
+//!   planner that quantifies its headline benefit: *"sharing datasets
+//!   over the network instead of duplicate downloads of datasets by
+//!   individual research group members"* (experiment E9).
+
+pub mod checkpoint;
+pub mod nam;
+pub mod pfs;
+
+pub use checkpoint::{simulate_failures, CheckpointTarget, FailureSimReport, YoungDaly};
+pub use nam::{ArchiveLink, Nam, StagingPlan, StagingStrategy};
+pub use pfs::ParallelFs;

@@ -1,0 +1,379 @@
+//! Convolution layers lowered to GEMM via im2col, parallel over the
+//! batch with rayon — the same strategy cuDNN's GEMM algorithm uses.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use rayon::prelude::*;
+use tensor::conv::{col2im, im2col, out_dim};
+use tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tensor::{Rng, Tensor};
+
+/// 2-D convolution over `(N, C, H, W)` inputs with `(F, C, KH, KW)`
+/// weights, stride and zero padding.
+pub struct Conv2d {
+    w: Param,
+    b: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Vec<Tensor>, // per-sample im2col matrices
+    in_shape: Vec<usize>,
+    oh: usize,
+    ow: usize,
+}
+
+impl Conv2d {
+    /// He-initialised square-kernel convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            w: Param::new(rng.he_init(&[out_channels, in_channels, kernel, kernel], fan_in)),
+            b: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    fn wmat(&self) -> Tensor {
+        self.w
+            .value
+            .clone()
+            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Conv2d expects (N, C, H, W)");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let oh = out_dim(h, self.kernel, self.stride, self.pad);
+        let ow = out_dim(w, self.kernel, self.stride, self.pad);
+        let wmat = self.wmat();
+        let bias = self.b.value.data().to_vec();
+        let per_img = c * h * w;
+
+        let results: Vec<(Tensor, Tensor)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let img = &input.data()[i * per_img..(i + 1) * per_img];
+                let cols = im2col(img, c, h, w, self.kernel, self.kernel, self.stride, self.pad, self.pad);
+                let mut y = matmul(&wmat, &cols); // (F, OH*OW)
+                for (f, &bf) in bias.iter().enumerate() {
+                    for v in y.row_mut(f) {
+                        *v += bf;
+                    }
+                }
+                (y, cols)
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(n * self.out_channels * oh * ow);
+        let mut cols_cache = Vec::with_capacity(n);
+        for (y, cols) in results {
+            out.extend_from_slice(y.data());
+            cols_cache.push(cols);
+        }
+        self.cache = Some(ConvCache {
+            cols: cols_cache,
+            in_shape: input.shape().to_vec(),
+            oh,
+            ow,
+        });
+        Tensor::from_vec(out, &[n, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (
+            cache.in_shape[0],
+            cache.in_shape[1],
+            cache.in_shape[2],
+            cache.in_shape[3],
+        );
+        let (oh, ow) = (cache.oh, cache.ow);
+        assert_eq!(grad_out.shape(), &[n, self.out_channels, oh, ow]);
+        let wmat = self.wmat();
+        let f = self.out_channels;
+        let per_g = f * oh * ow;
+
+        let results: Vec<(Tensor, Vec<f32>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let g = Tensor::from_vec(
+                    grad_out.data()[i * per_g..(i + 1) * per_g].to_vec(),
+                    &[f, oh * ow],
+                );
+                let cols = &cache.cols[i];
+                let dw = matmul_nt(&g, cols); // (F, C·K·K)
+                let db: Vec<f32> = (0..f).map(|ff| g.row(ff).iter().sum()).collect();
+                let dcols = matmul_tn(&wmat, &g); // (C·K·K, OH·OW)
+                let dx = col2im(
+                    &dcols,
+                    c,
+                    h,
+                    w,
+                    self.kernel,
+                    self.kernel,
+                    self.stride,
+                    self.pad,
+                    self.pad,
+                );
+                (dw, db, dx)
+            })
+            .collect();
+
+        let mut dx_all = Vec::with_capacity(n * c * h * w);
+        for (dw, db, dx) in results {
+            self.w
+                .grad
+                .zip_inplace(&dw.reshape(self.w.value.shape()), |a, b| a + b);
+            for (acc, d) in self.b.grad.data_mut().iter_mut().zip(&db) {
+                *acc += d;
+            }
+            dx_all.extend_from_slice(&dx);
+        }
+        Tensor::from_vec(dx_all, &cache.in_shape.clone())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// 1-D convolution over `(N, C, L)` sequences: a thin adapter over the
+/// 2-D machinery with a 1×K kernel (the §IV-B "1D-CNN" imputer baseline).
+pub struct Conv1d {
+    inner: Conv2d,
+}
+
+impl Conv1d {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        // Build the inner layer, then reshape its weights to 1×K kernels.
+        let mut inner = Conv2d::new(in_channels, out_channels, kernel, stride, pad, rng);
+        let fan_in = in_channels * kernel;
+        inner.w = Param::new(rng.he_init(&[out_channels, in_channels, 1, kernel], fan_in));
+        inner.kernel = kernel;
+        Conv1d { inner }
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Conv1d expects (N, C, L)");
+        let (n, c, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        // 1×K kernel over a 1×L image would need out_dim(1, K, s, p) on
+        // the H axis; instead treat the sequence as the H axis with a K×1
+        // kernel — equivalent and allowed by the square-kernel inner
+        // layer only if we transpose. Simplest correct lowering: H = L,
+        // W = 1 is wrong for K×K kernels. We therefore run the im2col
+        // machinery directly here with kh=1.
+        let k = self.inner.kernel;
+        let stride = self.inner.stride;
+        let pad = self.inner.pad;
+        let ol = out_dim(l, k, stride, pad);
+        let wmat = self
+            .inner
+            .w
+            .value
+            .clone()
+            .reshape(&[self.inner.out_channels, c * k]);
+        let bias = self.inner.b.value.data().to_vec();
+        let per_img = c * l;
+
+        let results: Vec<(Tensor, Tensor)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let img = &input.data()[i * per_img..(i + 1) * per_img];
+                // (C, 1, L) image with a 1×K kernel.
+                let cols = im2col(img, c, 1, l, 1, k, stride, 0, pad);
+                let mut y = matmul(&wmat, &cols);
+                for (f, &bf) in bias.iter().enumerate() {
+                    for v in y.row_mut(f) {
+                        *v += bf;
+                    }
+                }
+                (y, cols)
+            })
+            .collect();
+
+        let f = self.inner.out_channels;
+        let mut out = Vec::with_capacity(n * f * ol);
+        let mut cols_cache = Vec::with_capacity(n);
+        for (y, cols) in results {
+            out.extend_from_slice(y.data());
+            cols_cache.push(cols);
+        }
+        self.inner.cache = Some(ConvCache {
+            cols: cols_cache,
+            in_shape: vec![n, c, 1, l],
+            oh: 1,
+            ow: ol,
+        });
+        let _ = train;
+        Tensor::from_vec(out, &[n, f, ol])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.ndim(), 3);
+        let cache = self.inner.cache.as_ref().expect("backward before forward");
+        let (n, c, l) = (cache.in_shape[0], cache.in_shape[1], cache.in_shape[3]);
+        let f = self.inner.out_channels;
+        let ol = cache.ow;
+        let k = self.inner.kernel;
+        let stride = self.inner.stride;
+        let pad = self.inner.pad;
+        let wmat = self.inner.w.value.clone().reshape(&[f, c * k]);
+        let per_g = f * ol;
+
+        let results: Vec<(Tensor, Vec<f32>, Vec<f32>)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let g = Tensor::from_vec(
+                    grad_out.data()[i * per_g..(i + 1) * per_g].to_vec(),
+                    &[f, ol],
+                );
+                let cols = &cache.cols[i];
+                let dw = matmul_nt(&g, cols);
+                let db: Vec<f32> = (0..f).map(|ff| g.row(ff).iter().sum()).collect();
+                let dcols = matmul_tn(&wmat, &g);
+                let dx = col2im(&dcols, c, 1, l, 1, k, stride, 0, pad);
+                (dw, db, dx)
+            })
+            .collect();
+
+        let mut dx_all = Vec::with_capacity(n * c * l);
+        for (dw, db, dx) in results {
+            self.inner
+                .w
+                .grad
+                .zip_inplace(&dw.reshape(self.inner.w.value.shape()), |a, b| a + b);
+            for (acc, d) in self.inner.b.grad.data_mut().iter_mut().zip(&db) {
+                *acc += d;
+            }
+            dx_all.extend_from_slice(&dx);
+        }
+        Tensor::from_vec(dx_all, &[n, c, l])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.inner.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.inner.params_mut()
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut rng = Rng::seed(1);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[2, 3, 8, 8], 1.0);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]); // same-padding
+        let gx = conv.backward(&Tensor::ones(&[2, 8, 8, 8]));
+        assert_eq!(gx.shape(), &[2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn conv2d_stride_downsamples() {
+        let mut rng = Rng::seed(2);
+        let mut conv = Conv2d::new(1, 4, 3, 2, 1, &mut rng);
+        let x = rng.normal_tensor(&[1, 1, 8, 8], 1.0);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_known_kernel() {
+        // Single 1×1 kernel with weight 2 and bias 1: y = 2x + 1.
+        let mut rng = Rng::seed(3);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.w.value = Tensor::full(&[1, 1, 1, 1], 2.0);
+        conv.b.value = Tensor::full(&[1], 1.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn conv2d_batch_items_are_independent() {
+        let mut rng = Rng::seed(4);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let a = rng.normal_tensor(&[1, 2, 5, 5], 1.0);
+        let b = rng.normal_tensor(&[1, 2, 5, 5], 1.0);
+        let ya = conv.forward(&a, true);
+        let yb = conv.forward(&b, true);
+        let both = Tensor::from_vec(
+            [a.data(), b.data()].concat(),
+            &[2, 2, 5, 5],
+        );
+        let y_both = conv.forward(&both, true);
+        let half = ya.numel();
+        assert_eq!(&y_both.data()[..half], ya.data());
+        assert_eq!(&y_both.data()[half..], yb.data());
+    }
+
+    #[test]
+    fn conv1d_shapes_and_known_kernel() {
+        let mut rng = Rng::seed(5);
+        let mut conv = Conv1d::new(1, 1, 3, 1, 1, &mut rng);
+        conv.inner.w.value = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 1, 1, 3]);
+        conv.inner.b.value = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]);
+        let y = conv.forward(&x, true);
+        // moving sum with zero padding: [0+1+2, 1+2+3, 2+3+4, 3+4+0]
+        assert_eq!(y.shape(), &[1, 1, 4]);
+        assert_eq!(y.data(), &[3.0, 6.0, 9.0, 7.0]);
+        let gx = conv.backward(&Tensor::ones(&[1, 1, 4]));
+        assert_eq!(gx.shape(), &[1, 1, 4]);
+        // each input position feeds ≤3 outputs: counts [2,3,3,2]
+        assert_eq!(gx.data(), &[2.0, 3.0, 3.0, 2.0]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The [`Layer`] trait and structural layers ([`Sequential`],
+//! [`Residual`], [`Flatten`]).
+
+use crate::param::Param;
+use tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever the backward pass needs; `backward` consumes
+/// the upstream gradient, **accumulates** parameter gradients into its
+/// [`Param`]s and returns the gradient with respect to its input.
+pub trait Layer: Send {
+    /// Forward pass. `train` toggles training-time behaviour
+    /// (dropout masks, batch-norm statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass; must be preceded by a `forward` on the same input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters (empty for stateless layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Length of the layer's non-trainable state (e.g. batch-norm
+    /// running statistics). Zero for stateless layers.
+    fn state_len(&self) -> usize {
+        0
+    }
+
+    /// Serialises the non-trainable state (length `state_len()`).
+    fn state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores non-trainable state written by [`Layer::state`].
+    fn set_state(&mut self, state: &[f32]) {
+        assert!(state.is_empty(), "layer has no state to restore");
+    }
+}
+
+/// A chain of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Flattened parameter values in deterministic order.
+    pub fn values_vec(&self) -> Vec<f32> {
+        crate::param::values_to_vec(&self.params())
+    }
+
+    /// Flattened gradients in deterministic order.
+    pub fn grads_vec(&self) -> Vec<f32> {
+        crate::param::grads_to_vec(&self.params())
+    }
+
+    /// Overwrites all parameter values from a flat vector.
+    pub fn set_values(&mut self, flat: &[f32]) {
+        crate::param::set_values_from_vec(&mut self.params_mut(), flat);
+    }
+
+    /// Overwrites all gradients from a flat vector (after allreduce).
+    pub fn set_grads(&mut self, flat: &[f32]) {
+        crate::param::set_grads_from_vec(&mut self.params_mut(), flat);
+    }
+
+    /// Inference convenience: forward in eval mode.
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input, false)
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn state_len(&self) -> usize {
+        self.layers.iter().map(|l| l.state_len()).sum()
+    }
+
+    fn state(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.state_len());
+        for l in &self.layers {
+            out.extend(l.state());
+        }
+        out
+    }
+
+    fn set_state(&mut self, state: &[f32]) {
+        let mut off = 0;
+        for l in &mut self.layers {
+            let n = l.state_len();
+            l.set_state(&state[off..off + n]);
+            off += n;
+        }
+        assert_eq!(off, state.len(), "state vector length mismatch");
+    }
+}
+
+/// A residual block: `output = main(x) + x`. The inner stack must be
+/// shape-preserving (as in the identity blocks of ResNet-50).
+pub struct Residual {
+    main: Sequential,
+}
+
+impl Residual {
+    pub fn new(main: Sequential) -> Self {
+        Residual { main }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = self.main.forward(input, train);
+        assert_eq!(
+            out.shape(),
+            input.shape(),
+            "residual branch must preserve shape"
+        );
+        out.add_assign(input);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // d/dx [f(x) + x] = f'(x)·g + g
+        let mut g = self.main.backward(grad_out);
+        g.add_assign(grad_out);
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.main.params()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.main.params_mut()
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+
+    fn state_len(&self) -> usize {
+        self.main.state_len()
+    }
+
+    fn state(&self) -> Vec<f32> {
+        self.main.state()
+    }
+
+    fn set_state(&mut self, state: &[f32]) {
+        self.main.set_state(state);
+    }
+}
+
+/// Flattens `(N, …)` to `(N, prod(…))` and restores the shape on the way
+/// back.
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    pub fn new() -> Self {
+        Flatten {
+            input_shape: Vec::new(),
+        }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.input_shape = input.shape().to_vec();
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone().reshape(&self.input_shape.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::Relu;
+    use tensor::Rng;
+
+    #[test]
+    fn sequential_chains_forward_and_backward() {
+        let mut rng = Rng::seed(1);
+        let mut model = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        assert_eq!(model.len(), 3);
+        assert_eq!(model.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+
+        let x = rng.normal_tensor(&[5, 4], 1.0);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), &[5, 2]);
+        let gx = model.backward(&Tensor::ones(&[5, 2]));
+        assert_eq!(gx.shape(), &[5, 4]);
+    }
+
+    #[test]
+    fn values_and_grads_roundtrip_through_flat_vecs() {
+        let mut rng = Rng::seed(2);
+        let mut model = Sequential::new().push(Dense::new(3, 3, &mut rng));
+        let v = model.values_vec();
+        assert_eq!(v.len(), 12);
+        let new: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        model.set_values(&new);
+        assert_eq!(model.values_vec(), new);
+        model.set_grads(&new);
+        assert_eq!(model.grads_vec(), new);
+        model.zero_grad();
+        assert!(model.grads_vec().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn residual_adds_skip_path() {
+        // Main branch = Dense initialised to zero ⇒ output == input and
+        // input gradient == upstream gradient (identity skip).
+        let mut rng = Rng::seed(3);
+        let mut dense = Dense::new(4, 4, &mut rng);
+        for p in dense.params_mut() {
+            p.value.data_mut().fill(0.0);
+        }
+        let mut block = Residual::new(Sequential::new().push(dense));
+        let x = rng.normal_tensor(&[2, 4], 1.0);
+        let y = block.forward(&x, true);
+        assert_eq!(y, x);
+        let g = rng.normal_tensor(&[2, 4], 1.0);
+        let gx = block.backward(&g);
+        assert_eq!(gx, g);
+    }
+
+    #[test]
+    fn flatten_roundtrips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = f.backward(&Tensor::ones(&[2, 60]));
+        assert_eq!(g.shape(), &[2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Batch normalisation for `(N, C)` and `(N, C, H, W)` inputs.
+//!
+//! Normalises per channel over the batch (and spatial) axes with learned
+//! scale `γ` and shift `β`; running statistics are tracked for eval mode.
+//! The backward pass is the standard closed-form batch-norm gradient.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use tensor::Tensor;
+
+/// Batch normalisation over the channel axis (axis 1).
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    in_shape: Vec<usize>,
+}
+
+impl BatchNorm {
+    pub fn new(channels: usize) -> Self {
+        BatchNorm {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// (channel-size, per-channel element count, channel stride layout)
+    fn layout(&self, shape: &[usize]) -> (usize, usize) {
+        assert!(
+            shape.len() == 2 || shape.len() == 4,
+            "BatchNorm expects (N, C) or (N, C, H, W), got {shape:?}"
+        );
+        assert_eq!(shape[1], self.channels, "channel mismatch");
+        let spatial: usize = shape[2..].iter().product::<usize>().max(1);
+        (shape[0], spatial)
+    }
+
+    /// Iterates channel `ch` elements of a flat buffer laid out as
+    /// (N, C, S) and applies `f(flat_index)`.
+    fn for_channel(n: usize, c: usize, s: usize, ch: usize, mut f: impl FnMut(usize)) {
+        for i in 0..n {
+            let base = (i * c + ch) * s;
+            for j in 0..s {
+                f(base + j);
+            }
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (n, s) = self.layout(input.shape());
+        let c = self.channels;
+        let count = (n * s) as f32;
+        let mut out = input.clone();
+        let mut xhat = input.clone();
+        let mut inv_stds = vec![0.0f32; c];
+
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                Self::for_channel(n, c, s, ch, |idx| {
+                    let v = input.data()[idx] as f64;
+                    sum += v;
+                    sq += v * v;
+                });
+                let mean = (sum / count as f64) as f32;
+                let var = ((sq / count as f64) - (sum / count as f64).powi(2)).max(0.0) as f32;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            Self::for_channel(n, c, s, ch, |idx| {
+                let xh = (input.data()[idx] - mean) * inv_std;
+                xhat.data_mut()[idx] = xh;
+                out.data_mut()[idx] = g * xh + b;
+            });
+        }
+
+        if train {
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                in_shape: input.shape().to_vec(),
+            });
+        } else {
+            self.cache = None;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training-mode forward");
+        assert_eq!(grad_out.shape(), &cache.in_shape[..]);
+        let (n, s) = self.layout(&cache.in_shape);
+        let c = self.channels;
+        let count = (n * s) as f32;
+        let mut dx = grad_out.clone();
+
+        for ch in 0..c {
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            // Accumulate dγ = Σ dy·x̂, dβ = Σ dy.
+            let mut dgamma = 0.0f64;
+            let mut dbeta = 0.0f64;
+            Self::for_channel(n, c, s, ch, |idx| {
+                dgamma += (grad_out.data()[idx] * cache.xhat.data()[idx]) as f64;
+                dbeta += grad_out.data()[idx] as f64;
+            });
+            self.gamma.grad.data_mut()[ch] += dgamma as f32;
+            self.beta.grad.data_mut()[ch] += dbeta as f32;
+
+            // dx = γ/√v · (dy − mean(dy) − x̂·mean(dy·x̂))
+            let mean_dy = dbeta as f32 / count;
+            let mean_dyxhat = dgamma as f32 / count;
+            Self::for_channel(n, c, s, ch, |idx| {
+                let dy = grad_out.data()[idx];
+                let xh = cache.xhat.data()[idx];
+                dx.data_mut()[idx] = g * inv_std * (dy - mean_dy - xh * mean_dyxhat);
+            });
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+
+    fn state_len(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn state(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(2 * self.channels);
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+        out
+    }
+
+    fn set_state(&mut self, state: &[f32]) {
+        assert_eq!(state.len(), 2 * self.channels, "state length mismatch");
+        self.running_mean.copy_from_slice(&state[..self.channels]);
+        self.running_var.copy_from_slice(&state[self.channels..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+
+    #[test]
+    fn train_output_is_normalized_per_channel() {
+        let mut rng = Rng::seed(1);
+        let mut bn = BatchNorm::new(3);
+        let x = rng.normal_tensor(&[64, 3], 5.0);
+        let y = bn.forward(&x, true);
+        for ch in 0..3 {
+            let vals: Vec<f32> = (0..64).map(|i| y.at(&[i, ch])).collect();
+            let mean = vals.iter().sum::<f32>() / 64.0;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let mut rng = Rng::seed(2);
+        let mut bn = BatchNorm::new(2);
+        bn.gamma.value = Tensor::from_vec(vec![2.0, 3.0], &[2]);
+        bn.beta.value = Tensor::from_vec(vec![10.0, -10.0], &[2]);
+        let x = rng.normal_tensor(&[128, 2], 1.0);
+        let y = bn.forward(&x, true);
+        let m0: f32 = (0..128).map(|i| y.at(&[i, 0])).sum::<f32>() / 128.0;
+        let m1: f32 = (0..128).map(|i| y.at(&[i, 1])).sum::<f32>() / 128.0;
+        assert!((m0 - 10.0).abs() < 1e-3);
+        assert!((m1 + 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut rng = Rng::seed(3);
+        let mut bn = BatchNorm::new(1);
+        // Train on many batches so running stats converge to N(4, 9).
+        for _ in 0..200 {
+            let x = rng.normal_tensor(&[256, 1], 3.0).map(|v| v + 4.0);
+            let _ = bn.forward(&x, true);
+        }
+        let x = Tensor::from_vec(vec![4.0], &[1, 1]);
+        let y = bn.forward(&x, false);
+        assert!(y.data()[0].abs() < 0.1, "x=mean should map near 0, got {}", y.data()[0]);
+    }
+
+    #[test]
+    fn backward_gradient_sums_to_zero_per_channel() {
+        // The batch-norm input gradient always sums to zero over the
+        // normalisation axes (projection property).
+        let mut rng = Rng::seed(4);
+        let mut bn = BatchNorm::new(2);
+        let x = rng.normal_tensor(&[16, 2, 3, 3], 2.0);
+        let _ = bn.forward(&x, true);
+        let g = rng.normal_tensor(&[16, 2, 3, 3], 1.0);
+        let dx = bn.backward(&g);
+        for ch in 0..2 {
+            let mut sum = 0.0f32;
+            for i in 0..16 {
+                for a in 0..3 {
+                    for b in 0..3 {
+                        sum += dx.at(&[i, ch, a, b]);
+                    }
+                }
+            }
+            assert!(sum.abs() < 1e-3, "channel {ch} grad sum {sum}");
+        }
+    }
+
+    #[test]
+    fn works_on_4d_inputs() {
+        let mut rng = Rng::seed(5);
+        let mut bn = BatchNorm::new(4);
+        let x = rng.normal_tensor(&[2, 4, 5, 5], 1.0);
+        let y = bn.forward(&x, true);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_rejected() {
+        let mut bn = BatchNorm::new(3);
+        let _ = bn.forward(&Tensor::zeros(&[2, 4]), true);
+    }
+}

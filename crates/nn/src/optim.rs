@@ -1,0 +1,217 @@
+//! Optimisers: SGD with momentum/weight-decay and Adam (the paper's
+//! §IV-B setting: Adam, lr = 1e-4).
+//!
+//! Optimisers keep their state (velocities, moments) in flat per-param
+//! slots indexed by position, matching the deterministic parameter order
+//! of [`crate::Sequential::params_mut`].
+
+use crate::param::Param;
+use tensor::Tensor;
+
+/// An optimiser updates parameters in place from their accumulated
+/// gradients (and then the caller zeroes the gradients).
+pub trait Optimizer {
+    /// Applies one update step to `params`.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Overrides the learning rate (for warmup / scaling schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional Nesterov-free momentum and
+/// decoupled weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum));
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "param set changed");
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let val = p.value.clone();
+                p.grad.zip_inplace(&val, |g, w| g + wd * w);
+            }
+            if self.momentum > 0.0 {
+                v.scale(self.momentum);
+                v.add_assign(&p.grad);
+                p.value.axpy(-self.lr, v);
+            } else {
+                let lr = self.lr;
+                p.value.zip_inplace(&p.grad, move |w, g| w - lr * g);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// The paper's §IV-B configuration: `Adam::new(1e-4)`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0);
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "param set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            m.zip_inplace(&p.grad, |mm, g| b1 * mm + (1.0 - b1) * g);
+            v.zip_inplace(&p.grad, |vv, g| b2 * vv + (1.0 - b2) * g * g);
+            for ((w, &mm), &vv) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data())
+                .zip(v.data())
+            {
+                let mhat = mm / bc1;
+                let vhat = vv / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(w) = (w − 3)² with the given optimiser; returns final w.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        for _ in 0..steps {
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        let w = minimise(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        let w = minimise(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = minimise(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        let mut p = Param::new(Tensor::full(&[1], 10.0));
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        let w = p.value.data()[0];
+        assert!(w < 10.0 && w > 0.0, "decay should shrink toward 0: {w}");
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut opt = Sgd::new(1.0, 0.0, 0.0);
+        opt.set_lr(0.0001);
+        assert_eq!(opt.lr(), 0.0001);
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad.data_mut()[0] = 1.0;
+        opt.step(&mut [&mut p]);
+        assert!((p.value.data()[0] + 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adam_steps_are_lr_bounded() {
+        // |update| ≤ lr/(1−β1-ish) — first step is exactly lr for a
+        // constant gradient.
+        let mut opt = Adam::new(0.01);
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad.data_mut()[0] = 1000.0;
+        opt.step(&mut [&mut p]);
+        assert!(p.value.data()[0].abs() <= 0.0101, "{}", p.value.data()[0]);
+    }
+}

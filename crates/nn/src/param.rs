@@ -1,0 +1,116 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator.
+
+use tensor::Tensor;
+
+/// One trainable parameter of a layer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub value: Tensor,
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// Flattens the parameter *values* of a set of params into one vector
+/// (rank-order deterministic) — used to broadcast initial weights.
+pub fn values_to_vec(params: &[&Param]) -> Vec<f32> {
+    let total: usize = params.iter().map(|p| p.numel()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in params {
+        out.extend_from_slice(p.value.data());
+    }
+    out
+}
+
+/// Flattens the parameter *gradients* into one vector — the payload of
+/// the Horovod-style allreduce.
+pub fn grads_to_vec(params: &[&Param]) -> Vec<f32> {
+    let total: usize = params.iter().map(|p| p.numel()).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in params {
+        out.extend_from_slice(p.grad.data());
+    }
+    out
+}
+
+/// Writes a flat vector back into the parameter values. Length must match
+/// exactly.
+pub fn set_values_from_vec(params: &mut [&mut Param], flat: &[f32]) {
+    let mut off = 0;
+    for p in params.iter_mut() {
+        let n = p.numel();
+        p.value
+            .data_mut()
+            .copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+    assert_eq!(off, flat.len(), "flat vector length mismatch");
+}
+
+/// Writes a flat vector back into the parameter gradients.
+pub fn set_grads_from_vec(params: &mut [&mut Param], flat: &[f32]) {
+    let mut off = 0;
+    for p in params.iter_mut() {
+        let n = p.numel();
+        p.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+    assert_eq!(off, flat.len(), "flat vector length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut a = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut b = Param::new(Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]));
+        a.grad.data_mut().copy_from_slice(&[0.1, 0.2]);
+        b.grad.data_mut().copy_from_slice(&[0.3, 0.4, 0.5]);
+
+        let vals = values_to_vec(&[&a, &b]);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let grads = grads_to_vec(&[&a, &b]);
+        assert_eq!(grads, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+
+        let flat: Vec<f32> = (10..15).map(|x| x as f32).collect();
+        set_values_from_vec(&mut [&mut a, &mut b], &flat);
+        assert_eq!(a.value.data(), &[10.0, 11.0]);
+        assert_eq!(b.value.data(), &[12.0, 13.0, 14.0]);
+        set_grads_from_vec(&mut [&mut a, &mut b], &flat);
+        assert_eq!(b.grad.data(), &[12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[3]));
+        p.grad.data_mut().fill(7.0);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        set_values_from_vec(&mut [&mut a], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Model serialisation: flat little-endian binary snapshots of a model's
+//! parameters **and** non-trainable state (batch-norm running stats), so
+//! trained models survive process boundaries — the building block behind
+//! the checkpoint/restart experiments and the "transfer the model to the
+//! inference module" workflow.
+//!
+//! Format (all little-endian):
+//! `b"MSNN"` · u32 version · u64 param_len · u64 state_len ·
+//! param_len×f32 · state_len×f32 · u64 fletcher-style checksum.
+
+use crate::layer::{Layer as _, Sequential};
+
+const MAGIC: &[u8; 4] = b"MSNN";
+const VERSION: u32 = 1;
+
+/// Serialisation errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    ChecksumMismatch,
+    /// Snapshot shape does not match the target model.
+    ShapeMismatch { expected: usize, found: usize },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an MSNN snapshot"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            SnapshotError::ShapeMismatch { expected, found } => {
+                write!(f, "model expects {expected} scalars, snapshot has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    // FNV-1a, good enough for corruption detection.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serialises the model's values + state.
+pub fn save(model: &Sequential) -> Vec<u8> {
+    let values = model.values_vec();
+    let state = model.state();
+    let mut out = Vec::with_capacity(24 + 4 * (values.len() + state.len()) + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+    for v in values.iter().chain(&state) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Restores values + state into `model` (which must have the same
+/// architecture the snapshot was taken from).
+pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), SnapshotError> {
+    if bytes.len() < 28 {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let p_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let s_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let body_end = 24 + 4 * (p_len + s_len);
+    if bytes.len() != body_end + 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if checksum(&bytes[..body_end]) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let expected = model.param_count();
+    if p_len != expected {
+        return Err(SnapshotError::ShapeMismatch {
+            expected,
+            found: p_len,
+        });
+    }
+    if s_len != model.state_len() {
+        return Err(SnapshotError::ShapeMismatch {
+            expected: model.state_len(),
+            found: s_len,
+        });
+    }
+
+    let mut floats = bytes[24..body_end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()));
+    let values: Vec<f32> = floats.by_ref().take(p_len).collect();
+    let state: Vec<f32> = floats.collect();
+    model.set_values(&values);
+    model.set_state(&state);
+    Ok(())
+}
+
+/// Saves to a file.
+pub fn save_file(model: &Sequential, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, save(model))
+}
+
+/// Loads from a file.
+pub fn load_file(model: &mut Sequential, path: &std::path::Path) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    load(model, &bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::layer::Layer;
+    use crate::norm::BatchNorm;
+    use crate::Relu;
+    use tensor::{Rng, Tensor};
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = Rng::seed(seed);
+        Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(BatchNorm::new(8))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng))
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs_including_bn_state() {
+        let mut rng = Rng::seed(9);
+        let mut m = model(1);
+        // Touch batch-norm running stats with a few training passes.
+        for _ in 0..5 {
+            let x = rng.normal_tensor(&[16, 4], 2.0);
+            let _ = m.forward(&x, true);
+        }
+        let x = rng.normal_tensor(&[3, 4], 1.0);
+        let y_before = m.predict(&x);
+
+        let bytes = save(&m);
+        let mut restored = model(2); // different init
+        load(&mut restored, &bytes).unwrap();
+        let y_after = restored.predict(&x);
+        assert_eq!(y_before.data(), y_after.data());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let m = model(1);
+        let mut bytes = save(&m);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let mut target = model(1);
+        assert_eq!(load(&mut target, &bytes), Err(SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let m = model(1);
+        let bytes = save(&m);
+        let mut rng = Rng::seed(3);
+        let mut small = Sequential::new().push(Dense::new(2, 2, &mut rng));
+        match load(&mut small, &bytes) {
+            Err(SnapshotError::ShapeMismatch { .. }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_are_rejected() {
+        let mut m = model(1);
+        assert_eq!(load(&mut m, b"nope"), Err(SnapshotError::Truncated));
+        let mut bytes = save(&m);
+        bytes[0] = b'X';
+        assert_eq!(load(&mut m, &bytes), Err(SnapshotError::BadMagic));
+        let bytes2 = save(&m);
+        assert_eq!(
+            load(&mut m, &bytes2[..bytes2.len() - 3]),
+            Err(SnapshotError::Truncated)
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("msa_suite_snapshot_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("model.msnn");
+        let m = model(1);
+        save_file(&m, &path).unwrap();
+        let mut restored = model(4);
+        load_file(&mut restored, &path).unwrap();
+        let x = Tensor::ones(&[1, 4]);
+        let mut m = m;
+        assert_eq!(m.predict(&x).data(), restored.predict(&x).data());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,225 @@
+//! Simulated annealing over QUBOs with parallel restarts.
+//!
+//! SA with single-bit-flip moves and a geometric inverse-temperature
+//! schedule is the standard classical surrogate for a quantum annealer's
+//! samples (and is in fact what D-Wave's own `neal` sampler implements).
+//! Energy deltas are evaluated incrementally from cached local fields, so
+//! a sweep is O(n + edges touched).
+
+use crate::qubo::Qubo;
+use rayon::prelude::*;
+use tensor::Rng;
+
+/// Annealing schedule and effort.
+#[derive(Debug, Clone)]
+pub struct SaParams {
+    /// Full single-bit-flip sweeps per restart.
+    pub sweeps: usize,
+    /// Initial inverse temperature.
+    pub beta_start: f64,
+    /// Final inverse temperature.
+    pub beta_end: f64,
+    /// Independent restarts (annealer "reads"), run in parallel.
+    pub restarts: usize,
+    pub seed: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            sweeps: 200,
+            beta_start: 0.1,
+            beta_end: 5.0,
+            restarts: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// One annealing result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub bits: Vec<u8>,
+    pub energy: f64,
+}
+
+fn anneal_once(q: &Qubo, adj: &[Vec<(usize, f64)>], p: &SaParams, seed: u64) -> Sample {
+    let n = q.num_vars();
+    let mut rng = Rng::seed(seed);
+    let mut x: Vec<u8> = (0..n).map(|_| u8::from(rng.chance(0.5))).collect();
+
+    // Local field h[i] = linear[i] + Σ_j q_ij x_j; flipping bit i changes
+    // the energy by ΔE = (1 − 2xᵢ)·h[i].
+    let mut h: Vec<f64> = q.linear().to_vec();
+    for (i, neigh) in adj.iter().enumerate() {
+        for &(j, v) in neigh {
+            if x[j] != 0 {
+                h[i] += v;
+            }
+        }
+        let _ = i;
+    }
+    let mut energy = q.energy(&x);
+    let mut best = x.clone();
+    let mut best_e = energy;
+
+    let ratio = if p.sweeps > 1 {
+        (p.beta_end / p.beta_start).powf(1.0 / (p.sweeps as f64 - 1.0))
+    } else {
+        1.0
+    };
+    let mut beta = p.beta_start;
+
+    for _ in 0..p.sweeps {
+        for i in 0..n {
+            let delta = (1.0 - 2.0 * x[i] as f64) * h[i];
+            if delta <= 0.0 || rng.chance((-beta * delta).exp().min(1.0)) {
+                // Flip.
+                let sign = 1.0 - 2.0 * x[i] as f64; // +1 if 0→1
+                x[i] ^= 1;
+                energy += delta;
+                for &(j, v) in &adj[i] {
+                    h[j] += sign * v;
+                }
+                if energy < best_e {
+                    best_e = energy;
+                    best = x.clone();
+                }
+            }
+        }
+        beta *= ratio;
+    }
+    Sample {
+        bits: best,
+        energy: best_e,
+    }
+}
+
+/// Runs `p.restarts` independent anneals in parallel; returns all samples
+/// sorted by energy (best first).
+pub fn anneal(q: &Qubo, p: &SaParams) -> Vec<Sample> {
+    assert!(q.num_vars() > 0, "empty QUBO");
+    let adj = q.adjacency();
+    let mut samples: Vec<Sample> = (0..p.restarts)
+        .into_par_iter()
+        .map(|r| anneal_once(q, &adj, p, p.seed ^ ((r as u64 + 1) * 0x51_7E_AD)))
+        .collect();
+    samples.sort_by(|a, b| a.energy.total_cmp(&b.energy));
+    samples
+}
+
+/// Exact minimum by enumeration — for tests; `n ≤ 24`.
+pub fn brute_force(q: &Qubo) -> Sample {
+    let n = q.num_vars();
+    assert!(n <= 24, "brute force limited to 24 variables");
+    let mut best = Sample {
+        bits: vec![0; n],
+        energy: q.energy(&vec![0; n]),
+    };
+    for mask in 1u64..(1 << n) {
+        let bits: Vec<u8> = (0..n).map(|i| ((mask >> i) & 1) as u8).collect();
+        let e = q.energy(&bits);
+        if e < best.energy {
+            best = Sample { bits, energy: e };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_qubo(n: usize, density: f64, seed: u64) -> Qubo {
+        let mut rng = Rng::seed(seed);
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, rng.uniform(-1.0, 1.0) as f64);
+            for j in (i + 1)..n {
+                if rng.chance(density) {
+                    q.add_quadratic(i, j, rng.uniform(-1.0, 1.0) as f64);
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn finds_exact_optimum_on_small_random_problems() {
+        for seed in 0..5 {
+            let q = random_qubo(12, 0.5, seed);
+            let exact = brute_force(&q);
+            let samples = anneal(&q, &SaParams::default());
+            assert!(
+                (samples[0].energy - exact.energy).abs() < 1e-9,
+                "seed {seed}: SA {} vs exact {}",
+                samples[0].energy,
+                exact.energy
+            );
+        }
+    }
+
+    #[test]
+    fn energy_of_returned_bits_is_consistent() {
+        let q = random_qubo(20, 0.3, 42);
+        for s in anneal(&q, &SaParams::default()) {
+            assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_are_sorted_best_first() {
+        let q = random_qubo(30, 0.2, 1);
+        let samples = anneal(&q, &SaParams::default());
+        for w in samples.windows(2) {
+            assert!(w[0].energy <= w[1].energy);
+        }
+    }
+
+    #[test]
+    fn more_sweeps_do_not_worsen_the_best_energy() {
+        let q = random_qubo(60, 0.2, 9);
+        let quick = anneal(
+            &q,
+            &SaParams {
+                sweeps: 5,
+                restarts: 4,
+                ..Default::default()
+            },
+        )[0]
+        .energy;
+        let thorough = anneal(
+            &q,
+            &SaParams {
+                sweeps: 500,
+                restarts: 16,
+                ..Default::default()
+            },
+        )[0]
+        .energy;
+        assert!(thorough <= quick + 1e-9, "{thorough} vs {quick}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = random_qubo(25, 0.3, 3);
+        let a = anneal(&q, &SaParams::default());
+        let b = anneal(&q, &SaParams::default());
+        assert_eq!(a[0].bits, b[0].bits);
+    }
+
+    #[test]
+    fn ferromagnetic_chain_aligns() {
+        // Strong negative couplings in a chain with one pinned end: the
+        // ground state is all-ones.
+        let n = 16;
+        let mut q = Qubo::new(n);
+        q.add_linear(0, -5.0); // pin x0 = 1
+        for i in 0..n - 1 {
+            q.add_quadratic(i, i + 1, -2.0);
+            q.add_linear(i + 1, 1.0); // slight bias against, coupling wins
+        }
+        let best = &anneal(&q, &SaParams::default())[0];
+        assert_eq!(best.bits, vec![1u8; n]);
+    }
+}

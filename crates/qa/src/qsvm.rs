@@ -1,0 +1,239 @@
+//! Kernel SVM as a QUBO (Willsch, Willsch, Michielsen & De Raedt — the
+//! formulation behind the paper's D-Wave SVM ensembles).
+//!
+//! Each Lagrange multiplier is encoded with `k_bits` binary variables in
+//! base `base`: `αₙ = Σ_k base^k · a_{K·n+k}`, and the dual objective
+//!
+//! ```text
+//! E = ½ Σ_{n,m} αₙ αₘ yₙ yₘ (K(xₙ,xₘ) + ξ) − Σ_n αₙ
+//! ```
+//!
+//! (the `ξ` penalty softly enforces `Σ αₙ yₙ = 0`) becomes a QUBO over
+//! `N·k_bits` variables with dense couplings — which is exactly why the
+//! device's qubit *and coupler* budgets limit the subsample size, and why
+//! the paper resorts to ensembles of small SVMs.
+
+use crate::anneal::{anneal, SaParams};
+use crate::qubo::Qubo;
+use ml::svm::Kernel;
+
+/// QSVM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct QsvmConfig {
+    pub kernel: Kernel,
+    /// Bits per multiplier.
+    pub k_bits: usize,
+    /// Encoding base (2 ⇒ α ∈ {0, 1, …, 2^k − 1}).
+    pub base: f32,
+    /// Penalty weight for the Σαy = 0 constraint.
+    pub xi: f32,
+    /// Annealing effort.
+    pub sa: SaParams,
+}
+
+impl Default for QsvmConfig {
+    fn default() -> Self {
+        QsvmConfig {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            k_bits: 3,
+            base: 2.0,
+            xi: 1.0,
+            sa: SaParams::default(),
+        }
+    }
+}
+
+/// A trained QSVM: the decoded multipliers over the training subsample.
+#[derive(Debug, Clone)]
+pub struct QsvmModel {
+    pub kernel: Kernel,
+    pub xs: Vec<Vec<f32>>,
+    pub ys: Vec<f32>,
+    pub alphas: Vec<f32>,
+    pub bias: f32,
+    /// Qubits the QUBO needed.
+    pub qubits_used: usize,
+    /// Couplers the QUBO needed.
+    pub couplers_used: usize,
+}
+
+/// Builds the QUBO for a training set. Exposed for budget accounting.
+pub fn build_qubo(xs: &[Vec<f32>], ys: &[f32], cfg: &QsvmConfig) -> Qubo {
+    let n = xs.len();
+    let kb = cfg.k_bits;
+    let mut q = Qubo::new(n * kb);
+    for nn in 0..n {
+        for mm in nn..n {
+            let kval = cfg.kernel.eval(&xs[nn], &xs[mm]) + cfg.xi;
+            let yy = ys[nn] * ys[mm];
+            for k in 0..kb {
+                for l in 0..kb {
+                    let (i, j) = (nn * kb + k, mm * kb + l);
+                    if i > j {
+                        continue; // symmetric partner already covered
+                    }
+                    let w = 0.5 * cfg.base.powi((k + l) as i32) * yy * kval;
+                    if i == j {
+                        // a² = a for binaries: the ½B^{2k}K̃ₙₙ term is linear.
+                        q.add_linear(i, w as f64);
+                    } else {
+                        // Every unordered variable pair collects the two
+                        // ordered terms of the symmetric double sum.
+                        q.add_quadratic(i, j, 2.0 * w as f64);
+                    }
+                }
+            }
+        }
+    }
+    // −Σ αₙ term.
+    for nn in 0..n {
+        for k in 0..kb {
+            q.add_linear(nn * kb + k, -(cfg.base.powi(k as i32) as f64));
+        }
+    }
+    q
+}
+
+impl QsvmModel {
+    /// Trains a QSVM on a (small) training set by annealing its QUBO.
+    pub fn train(xs: &[Vec<f32>], ys: &[f32], cfg: &QsvmConfig) -> QsvmModel {
+        assert_eq!(xs.len(), ys.len());
+        assert!(xs.len() >= 2);
+        for &y in ys {
+            assert!(y == 1.0 || y == -1.0, "labels must be ±1");
+        }
+        let q = build_qubo(xs, ys, cfg);
+        let samples = anneal(&q, &cfg.sa);
+        let bits = &samples[0].bits;
+
+        let kb = cfg.k_bits;
+        let alphas: Vec<f32> = (0..xs.len())
+            .map(|nn| {
+                (0..kb)
+                    .map(|k| cfg.base.powi(k as i32) * bits[nn * kb + k] as f32)
+                    .sum()
+            })
+            .collect();
+
+        // Bias from the margin condition averaged over active multipliers.
+        let c_max: f32 = (0..kb).map(|k| cfg.base.powi(k as i32)).sum();
+        let mut bias_sum = 0.0;
+        let mut bias_cnt = 0;
+        for (i, &a) in alphas.iter().enumerate() {
+            if a > 0.0 && a < c_max {
+                let f: f32 = alphas
+                    .iter()
+                    .zip(ys)
+                    .zip(xs)
+                    .map(|((&am, &ym), xm)| am * ym * cfg.kernel.eval(xm, &xs[i]))
+                    .sum();
+                bias_sum += ys[i] - f;
+                bias_cnt += 1;
+            }
+        }
+        let bias = if bias_cnt > 0 {
+            bias_sum / bias_cnt as f32
+        } else {
+            0.0
+        };
+
+        QsvmModel {
+            kernel: cfg.kernel,
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            alphas,
+            bias,
+            qubits_used: q.num_vars(),
+            couplers_used: q.num_couplers(),
+        }
+    }
+
+    /// Decision value.
+    pub fn decision(&self, x: &[f32]) -> f32 {
+        let mut s = self.bias;
+        for ((&a, &y), sv) in self.alphas.iter().zip(&self.ys).zip(&self.xs) {
+            if a > 0.0 {
+                s += a * y * self.kernel.eval(sv, x);
+            }
+        }
+        s
+    }
+
+    /// Predicted label ±1.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, xs: &[Vec<f32>], ys: &[f32]) -> f64 {
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Rng;
+
+    fn blobs(n: usize, sep: f32, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = Rng::seed(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let y = if rng.chance(0.5) { 1.0f32 } else { -1.0 };
+            xs.push(vec![rng.normal() + y * sep, rng.normal() - y * sep]);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn qubo_size_matches_encoding() {
+        let (xs, ys) = blobs(10, 2.0, 1);
+        let cfg = QsvmConfig::default();
+        let q = build_qubo(&xs, &ys, &cfg);
+        assert_eq!(q.num_vars(), 10 * 3);
+        // Dense QUBO: all variable pairs coupled (30·29/2).
+        assert_eq!(q.num_couplers(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn qsvm_separates_blobs() {
+        let (xs, ys) = blobs(20, 2.0, 2);
+        let (tx, ty) = blobs(60, 2.0, 3);
+        let model = QsvmModel::train(&xs, &ys, &QsvmConfig::default());
+        let acc = model.accuracy(&tx, &ty);
+        assert!(acc > 0.85, "QSVM accuracy {acc}");
+        assert!(model.alphas.iter().any(|&a| a > 0.0), "some SVs active");
+    }
+
+    #[test]
+    fn decoded_alphas_are_in_encoding_range() {
+        let (xs, ys) = blobs(12, 1.5, 4);
+        let cfg = QsvmConfig::default();
+        let model = QsvmModel::train(&xs, &ys, &cfg);
+        let c_max: f32 = (0..cfg.k_bits).map(|k| cfg.base.powi(k as i32)).sum();
+        for &a in &model.alphas {
+            assert!((0.0..=c_max).contains(&a));
+        }
+    }
+
+    #[test]
+    fn qsvm_energy_better_than_zero_solution() {
+        // The annealed solution must beat the trivial α = 0 point (E = 0).
+        let (xs, ys) = blobs(14, 1.5, 5);
+        let cfg = QsvmConfig::default();
+        let q = build_qubo(&xs, &ys, &cfg);
+        let samples = anneal(&q, &cfg.sa);
+        assert!(samples[0].energy < 0.0, "energy {}", samples[0].energy);
+    }
+}

@@ -1,0 +1,281 @@
+//! im2col/col2im convolution lowering.
+//!
+//! Convolutions are lowered to matrix multiplication exactly the way
+//! cuDNN's GEMM algorithm does it: the input patches are unrolled into a
+//! `(C·KH·KW) × (OH·OW)` column matrix, so the convolution becomes
+//! `weights(F, C·KH·KW) · cols`, and the backward pass w.r.t. the input
+//! is the transposed product folded back with [`col2im`].
+
+use crate::Tensor;
+
+/// Output spatial size for one axis.
+#[inline]
+pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        input + 2 * pad >= kernel,
+        "kernel {kernel} larger than padded input {input}+2*{pad}"
+    );
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Unrolls one `(C, H, W)` image into a `(C·KH·KW) × (OH·OW)` column
+/// matrix. `image` must have length `c*h*w`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> Tensor {
+    assert_eq!(image.len(), c * h * w, "image length mismatch");
+    let oh = out_dim(h, kh, stride, pad_h);
+    let ow = out_dim(w, kw, stride, pad_w);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+
+    for ch in 0..c {
+        let img_c = &image[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad_h as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad_w as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = img_c[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds a `(C·KH·KW) × (OH·OW)` column-gradient matrix back into an
+/// image gradient of length `c*h*w` (accumulating overlapping patches) —
+/// the adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+) -> Vec<f32> {
+    let oh = out_dim(h, kh, stride, pad_h);
+    let ow = out_dim(w, kw, stride, pad_w);
+    assert_eq!(cols.shape(), &[c * kh * kw, oh * ow], "cols shape mismatch");
+    let mut img = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    let ncols = oh * ow;
+
+    for ch in 0..c {
+        let img_c = &mut img[ch * h * w..(ch + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                let col_row = &data[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad_h as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kx) as isize - pad_w as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img_c[iy * w + ix as usize] += col_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// 2×2 (or general) max-pool of one `(C, H, W)` image. Returns the pooled
+/// image and the flat argmax indices (into the input image) for backprop.
+pub fn maxpool(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+) -> (Vec<f32>, Vec<usize>) {
+    let oh = out_dim(h, k, stride, 0);
+    let ow = out_dim(w, k, stride, 0);
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    let mut arg = vec![0usize; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let o = (ch * oh + oy) * ow + ox;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        let idx = (ch * h + iy) * w + ix;
+                        if image[idx] > out[o] {
+                            out[o] = image[idx];
+                            arg[o] = idx;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+    use crate::Rng;
+
+    /// Direct (definition-level) convolution for cross-checking.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_direct(
+        image: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        weight: &Tensor, // (F, C, KH, KW)
+        stride: usize,
+        pad: usize,
+    ) -> Vec<f32> {
+        let (f, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let oh = out_dim(h, kh, stride, pad);
+        let ow = out_dim(w, kw, stride, pad);
+        let mut out = vec![0.0; f * oh * ow];
+        for ff in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                s += image[(ch * h + iy as usize) * w + ix as usize]
+                                    * weight.at(&[ff, ch, ky, kx]);
+                            }
+                        }
+                    }
+                    out[(ff * oh + oy) * ow + ox] = s;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(out_dim(8, 3, 1, 0), 6);
+        assert_eq!(out_dim(8, 3, 1, 1), 8);
+        assert_eq!(out_dim(8, 3, 2, 1), 4);
+        assert_eq!(out_dim(1, 1, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_kernel_rejected() {
+        let _ = out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_matmul_equals_direct_convolution() {
+        let mut r = Rng::seed(11);
+        for (c, h, w, f, k, stride, pad) in [
+            (1, 5, 5, 2, 3, 1, 0),
+            (3, 8, 8, 4, 3, 1, 1),
+            (2, 7, 9, 3, 3, 2, 1),
+            (1, 4, 4, 1, 1, 1, 0),
+        ] {
+            let img = r.normal_tensor(&[c * h * w], 1.0);
+            let weight = r.normal_tensor(&[f, c, k, k], 0.5);
+            let cols = im2col(img.data(), c, h, w, k, k, stride, pad, pad);
+            let wmat = weight.clone().reshape(&[f, c * k * k]);
+            let out = matmul(&wmat, &cols);
+            let direct = conv_direct(img.data(), c, h, w, &weight, stride, pad);
+            for (a, b) in out.data().iter().zip(&direct) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "c={c} h={h} k={k} s={stride} p={pad}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property of the adjoint, which is what backprop relies on.
+        let mut r = Rng::seed(12);
+        let (c, h, w, k, stride, pad) = (2, 6, 5, 3, 2, 1);
+        let x = r.normal_tensor(&[c * h * w], 1.0);
+        let cols = im2col(x.data(), c, h, w, k, k, stride, pad, pad);
+        let y = r.normal_tensor(cols.shape(), 1.0);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, c, h, w, k, k, stride, pad, pad);
+        let rhs: f32 = x.data().iter().zip(&folded).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_picks_maxima_and_indices() {
+        // 1 channel, 4x4
+        #[rustfmt::skip]
+        let img = vec![
+            1.0, 2.0, 5.0, 0.0,
+            3.0, 4.0, 1.0, 1.0,
+            0.0, 0.0, 9.0, 8.0,
+            0.0, 7.0, 6.0, 9.5,
+        ];
+        let (out, arg) = maxpool(&img, 1, 4, 4, 2, 2);
+        assert_eq!(out, vec![4.0, 5.0, 7.0, 9.5]);
+        assert_eq!(arg, vec![5, 2, 13, 15]);
+    }
+
+    #[test]
+    fn padding_zero_regions_stay_zero_in_cols() {
+        let img = vec![1.0; 4]; // 1×2×2
+        let cols = im2col(&img, 1, 2, 2, 3, 3, 1, 1, 1);
+        // center tap row (ky=1,kx=1) has all ones, corner taps have zeros
+        assert_eq!(cols.shape(), &[9, 4]);
+        let center = cols.row(4);
+        assert_eq!(center, &[1.0, 1.0, 1.0, 1.0]);
+        let corner = cols.row(0); // (0,0) tap sees padding for output (0,0)
+        assert_eq!(corner[0], 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tensor
+//!
+//! A small dense-`f32` tensor library with rayon-parallel kernels. It is
+//! the from-scratch stand-in for the BLAS/cuDNN layer underneath the
+//! paper's TensorFlow/Keras stack: everything `nn` (layers, backprop) and
+//! `ml` (SVM, forests) compute ultimately bottoms out in the matmul,
+//! im2col convolution and reduction kernels here.
+//!
+//! Tensors are always contiguous row-major; shapes are `Vec<usize>`.
+//! Elementwise and matrix kernels switch to rayon parallel iterators
+//! above a size threshold, so small test tensors don't pay the fork-join
+//! overhead.
+
+pub mod conv;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod shape_ops;
+#[allow(clippy::module_inception)]
+pub mod tensor;
+
+pub use rng::Rng;
+pub use tensor::Tensor;
+
+/// Minimum number of elements before kernels go parallel.
+pub(crate) const PAR_THRESHOLD: usize = 4096;

@@ -1,0 +1,223 @@
+//! Parallel blocked matrix multiplication.
+//!
+//! The kernel underneath every Dense layer, every im2col convolution and
+//! every kernel-matrix in `ml`. Rows of the output are distributed over
+//! the rayon pool; within a row-block we use an ikj loop order so the
+//! inner loop is a contiguous saxpy the compiler can vectorise.
+
+use crate::{Tensor, PAR_THRESHOLD};
+use rayon::prelude::*;
+
+/// `C = A · B` for 2-D tensors: `(m×k) · (k×n) → (m×n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b_kj;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` without materialising the transpose: `(k×m)ᵀ · (k×n)`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        for kk in 0..k {
+            let a_ki = a_data[kk * m + i];
+            if a_ki == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ki * b_kj;
+            }
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` without materialising the transpose: `(m×k) · (n×k)ᵀ`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2);
+    assert_eq!(b.ndim(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+
+    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    };
+
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
+    } else {
+        out.chunks_mut(n).enumerate().for_each(row_kernel);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Matrix-vector product `y = A · x` for `(m×k) · (k)`.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    assert_eq!(a.ndim(), 2);
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    assert_eq!(x.len(), k, "vector length must equal columns");
+    let a_data = a.data();
+    if m * k >= PAR_THRESHOLD {
+        (0..m)
+            .into_par_iter()
+            .map(|i| {
+                a_data[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    } else {
+        (0..m)
+            .map(|i| {
+                a_data[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                *out.at_mut(&[i, j]) = s;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut r = Rng::seed(1);
+        let a = r.normal_tensor(&[7, 7], 1.0);
+        assert_close(&matmul(&a, &Tensor::eye(7)), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(7), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_rectangles() {
+        let mut r = Rng::seed(2);
+        for (m, k, n) in [(3, 5, 4), (1, 8, 1), (16, 3, 9), (70, 70, 70)] {
+            let a = r.normal_tensor(&[m, k], 1.0);
+            let b = r.normal_tensor(&[k, n], 1.0);
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let mut r = Rng::seed(3);
+        let a = r.normal_tensor(&[80, 90], 1.0);
+        let b = r.normal_tensor(&[90, 100], 1.0); // 8000 elements > threshold
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transposes() {
+        let mut r = Rng::seed(4);
+        let a = r.normal_tensor(&[6, 9], 1.0);
+        let b = r.normal_tensor(&[6, 5], 1.0);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5);
+        let c = r.normal_tensor(&[9, 6], 1.0);
+        let d = r.normal_tensor(&[5, 6], 1.0);
+        assert_close(&matmul_nt(&c, &d), &matmul(&c, &d.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut r = Rng::seed(5);
+        let a = r.normal_tensor(&[7, 4], 1.0);
+        let x = r.normal_tensor(&[4], 1.0);
+        let y = matvec(&a, x.data());
+        let y2 = matmul(&a, &x.clone().reshape(&[4, 1]));
+        for (u, v) in y.iter().zip(y2.data()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn dimension_mismatch_rejected() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,207 @@
+//! Shape-manipulation operations: concatenation, one-hot encoding,
+//! axis statistics and spatial padding — the utility layer the data
+//! pipelines and model heads lean on.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Concatenates tensors along the leading (batch) axis; all inputs
+    /// must agree on the remaining axes.
+    pub fn concat_batch(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cannot concat zero tensors");
+        let inner = &parts[0].shape()[1..];
+        let mut total = 0;
+        for p in parts {
+            assert_eq!(&p.shape()[1..], inner, "inner shapes must agree");
+            total += p.shape()[0];
+        }
+        let mut data = Vec::with_capacity(total * inner.iter().product::<usize>().max(1));
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut shape = vec![total];
+        shape.extend_from_slice(inner);
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// One-hot encodes integer labels (stored as f32) into `(n, classes)`.
+    pub fn one_hot(labels: &Tensor, classes: usize) -> Tensor {
+        let n = labels.numel();
+        let mut out = Tensor::zeros(&[n, classes]);
+        for (i, &l) in labels.data().iter().enumerate() {
+            let c = l as usize;
+            assert!(
+                c < classes && l.fract() == 0.0 && l >= 0.0,
+                "label {l} not a class index below {classes}"
+            );
+            out.data_mut()[i * classes + c] = 1.0;
+        }
+        out
+    }
+
+    /// Per-column mean of a 2-D tensor: shape `[cols]`.
+    pub fn mean_axis0(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "mean_axis0 requires a 2-D tensor");
+        let rows = self.shape()[0].max(1) as f32;
+        let mut s = self.sum_axis0();
+        s.scale(1.0 / rows);
+        s
+    }
+
+    /// Per-row mean of a 2-D tensor: shape `[rows]`.
+    pub fn mean_axis1(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "mean_axis1 requires a 2-D tensor");
+        let (rows, cols) = (self.shape()[0], self.shape()[1]);
+        let data = (0..rows)
+            .map(|r| self.row(r).iter().sum::<f32>() / cols.max(1) as f32)
+            .collect();
+        Tensor::from_vec(data, &[rows])
+    }
+
+    /// Zero-pads the two trailing spatial axes of an `(N, C, H, W)`
+    /// tensor by `pad` on every side.
+    pub fn pad_spatial(&self, pad: usize) -> Tensor {
+        assert_eq!(self.ndim(), 4, "pad_spatial requires (N, C, H, W)");
+        if pad == 0 {
+            return self.clone();
+        }
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+        let mut out = Tensor::zeros(&[n, c, hp, wp]);
+        for i in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    let src = ((i * c + ch) * h + y) * w;
+                    let dst = ((i * c + ch) * hp + y + pad) * wp + pad;
+                    out.data_mut()[dst..dst + w]
+                        .copy_from_slice(&self.data()[src..src + w]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-channel mean and standard deviation of an `(N, C, …)` tensor —
+    /// the statistics a data-normalisation step needs.
+    pub fn channel_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        assert!(self.ndim() >= 2);
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        let inner: usize = self.shape()[2..].iter().product::<usize>().max(1);
+        let count = (n * inner) as f64;
+        let mut means = vec![0.0f64; c];
+        let mut sq = vec![0.0f64; c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * inner;
+                for &v in &self.data()[base..base + inner] {
+                    means[ch] += v as f64;
+                    sq[ch] += (v as f64) * (v as f64);
+                }
+            }
+        }
+        let means_f: Vec<f32> = means.iter().map(|&m| (m / count) as f32).collect();
+        let stds: Vec<f32> = sq
+            .iter()
+            .zip(&means)
+            .map(|(&s, &m)| {
+                let mean = m / count;
+                ((s / count - mean * mean).max(0.0).sqrt()) as f32
+            })
+            .collect();
+        (means_f, stds)
+    }
+
+    /// Normalises each channel of an `(N, C, …)` tensor in place with the
+    /// given statistics.
+    pub fn normalize_channels(&mut self, means: &[f32], stds: &[f32]) {
+        assert!(self.ndim() >= 2);
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(means.len(), c);
+        assert_eq!(stds.len(), c);
+        let inner: usize = self.shape()[2..].iter().product::<usize>().max(1);
+        for i in 0..n {
+            for ch in 0..c {
+                let (m, s) = (means[ch], stds[ch].max(1e-12));
+                let base = (i * c + ch) * inner;
+                for v in &mut self.data_mut()[base..base + inner] {
+                    *v = (*v - m) / s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn concat_batch_stacks_rows() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Tensor::concat_batch(&[a, b]);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner shapes must agree")]
+    fn concat_shape_mismatch_rejected() {
+        let _ = Tensor::concat_batch(&[Tensor::zeros(&[1, 2]), Tensor::zeros(&[1, 3])]);
+    }
+
+    #[test]
+    fn one_hot_encodes_and_validates() {
+        let labels = Tensor::from_vec(vec![2.0, 0.0], &[2]);
+        let oh = Tensor::one_hot(&labels, 3);
+        assert_eq!(oh.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a class index")]
+    fn one_hot_rejects_out_of_range() {
+        let _ = Tensor::one_hot(&Tensor::from_vec(vec![3.0], &[1]), 3);
+    }
+
+    #[test]
+    fn axis_means() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.mean_axis0().data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(t.mean_axis1().data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn pad_spatial_zero_borders() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let p = t.pad_spatial(1);
+        assert_eq!(p.shape(), &[1, 1, 4, 4]);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 4.0);
+        assert_eq!(p.sum(), t.sum(), "padding must not change mass");
+        assert_eq!(t.pad_spatial(0), t);
+    }
+
+    #[test]
+    fn channel_stats_then_normalize_standardises() {
+        let mut rng = Rng::seed(4);
+        let mut t = rng.normal_tensor(&[8, 3, 5, 5], 2.0);
+        t.map_inplace(|v| v + 7.0);
+        let (means, stds) = t.channel_stats();
+        for m in &means {
+            assert!((m - 7.0).abs() < 0.5, "mean {m}");
+        }
+        t.normalize_channels(&means, &stds);
+        let (m2, s2) = t.channel_stats();
+        for (m, s) in m2.iter().zip(&s2) {
+            assert!(m.abs() < 1e-4, "post-normalisation mean {m}");
+            assert!((s - 1.0).abs() < 1e-3, "post-normalisation std {s}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Health case study (§IV-A): COVID-Net-style chest-X-ray screening.
+//!
+//! Trains a CNN to distinguish normal / pneumonia / COVID-19 on synthetic
+//! radiographs, then uses the analytic GPU model to show the V100 → A100
+//! generation effect the paper reports for inference and training.
+//!
+//! ```sh
+//! cargo run --release --example covid_xray
+//! ```
+
+use msa_suite::data::cxr::{self, CxrConfig};
+use msa_suite::data::{accuracy, Dataset};
+use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::ml::metrics::confusion_matrix;
+use msa_suite::msa_core::hw::catalog;
+use msa_suite::msa_net::LinkParams;
+use msa_suite::nn::{models, Adam, Layer, SoftmaxCrossEntropy};
+use msa_suite::tensor::Rng;
+
+fn main() {
+    let cfg = CxrConfig {
+        size: 24,
+        noise: 0.1,
+    };
+    let ds = cxr::generate(240, &cfg, 2020);
+    let (train, test) = ds.split(0.25);
+    println!(
+        "COVIDx-style dataset: {} train / {} test images ({}x{})",
+        train.len(),
+        test.len(),
+        cfg.size,
+        cfg.size
+    );
+
+    let model_fn = |seed: u64| {
+        let mut rng = Rng::seed(seed);
+        models::covidnet_lite(1, 3, &mut rng)
+    };
+    let tc = TrainConfig {
+        workers: 2,
+        epochs: 8,
+        batch_per_worker: 15,
+        base_lr: 2e-3,
+        lr_scaling: true,
+        warmup_epochs: 1,
+        seed: 3,
+    };
+    println!("training CovidNet-lite with {} workers …", tc.workers);
+    let rep = train_data_parallel(
+        &tc,
+        &train,
+        model_fn,
+        |lr| Box::new(Adam::new(lr)),
+        SoftmaxCrossEntropy,
+    );
+    let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
+    println!("test accuracy: {:.1}% (chance 33.3%)", acc * 100.0);
+    print_confusion(model_fn, tc.seed, &rep, &test);
+
+    // GPU generation effect (§IV-A: A100 + tensor cores vs V100).
+    println!("\n== V100 vs A100 for the CNN workload (analytic) ==");
+    let mut v100 = ScalingModel::resnet50(catalog::v100(), LinkParams::infiniband_edr());
+    let mut a100 = ScalingModel::resnet50(catalog::a100(), LinkParams::infiniband_hdr200x4());
+    // COVIDx-scale: ~14k images, lighter CNN.
+    for m in [&mut v100, &mut a100] {
+        m.dataset_samples = 13_975;
+        m.flops_per_sample = 3.0e9;
+        m.batch_per_gpu = 32;
+    }
+    println!(
+        "{:<8} {:>14} {:>20}",
+        "GPU", "epoch (1 GPU)", "inference [img/s]"
+    );
+    for (name, m) in [("V100", &v100), ("A100", &a100)] {
+        println!(
+            "{:<8} {:>14} {:>20.0}",
+            name,
+            format!("{}", m.epoch_time(1)),
+            m.inference_throughput()
+        );
+    }
+    println!(
+        "A100 generation speedup: {:.2}x training, {:.2}x inference",
+        v100.epoch_time(1) / a100.epoch_time(1),
+        a100.inference_throughput() / v100.inference_throughput()
+    );
+}
+
+fn print_confusion(
+    model_fn: impl Fn(u64) -> msa_suite::nn::Sequential,
+    seed: u64,
+    rep: &msa_suite::distrib::TrainReport,
+    test: &Dataset,
+) {
+    let mut model = model_fn(seed);
+    model.set_values(&rep.final_params);
+    model.set_state(&rep.final_state);
+    let logits = model.predict(&test.x);
+    let preds = logits.argmax_rows();
+    let actual: Vec<usize> = test.y.data().iter().map(|&l| l as usize).collect();
+    let m = confusion_matrix(&actual, &preds, 3);
+    let names = ["normal", "pneumonia", "covid"];
+    println!("confusion matrix (rows = actual):");
+    println!("{:>12} {:>9} {:>9} {:>9}", "", names[0], names[1], names[2]);
+    for (i, row) in m.iter().enumerate() {
+        println!(
+            "{:>12} {:>9} {:>9} {:>9}",
+            names[i], row[0], row[1], row[2]
+        );
+    }
+    let _ = accuracy(&logits, &test.y);
+}

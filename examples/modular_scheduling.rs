@@ -1,0 +1,66 @@
+//! Scheduling heterogeneous workloads onto matching MSA modules (the
+//! conclusion's claim, experiment E11) plus the Fig.-2-style workload
+//! affinity report and the NAM staging comparison.
+//!
+//! ```sh
+//! cargo run --release --example modular_scheduling
+//! ```
+
+use msa_suite::msa_core::report::affinity_report;
+use msa_suite::msa_core::system::presets;
+use msa_suite::msa_sched::{compare_architectures, TraceConfig};
+use msa_suite::msa_storage::{ArchiveLink, Nam, StagingPlan};
+
+fn main() {
+    let deep = presets::deep();
+
+    // Fig. 2: which module suits which workload class.
+    println!("{}", affinity_report(&deep, 64));
+
+    // E11: one mixed trace, modular vs monolithic.
+    let cfg = TraceConfig {
+        jobs: 60,
+        mean_interarrival_s: 15.0,
+        ..Default::default()
+    };
+    println!("scheduling a {}-job mixed trace …\n", cfg.jobs);
+    let result = compare_architectures(&deep, &cfg);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>11}",
+        "architecture", "makespan", "mean wait", "energy", "backfilled"
+    );
+    for (name, rep) in [("MSA (DEEP)", &result.msa), ("monolithic", &result.monolithic)] {
+        println!(
+            "{:<14} {:>12} {:>12} {:>9.2} kWh {:>11}",
+            name,
+            format!("{}", rep.makespan),
+            format!("{}", rep.mean_wait),
+            rep.total_energy_kwh,
+            rep.backfilled
+        );
+    }
+    println!(
+        "\nMSA advantage: {:.2}x makespan, {:.2}x energy",
+        result.makespan_ratio(),
+        result.energy_ratio()
+    );
+
+    // E9: the NAM's dataset-sharing benefit.
+    println!("\n== dataset staging: duplicate downloads vs NAM sharing ==");
+    let archive = ArchiveLink::site_uplink();
+    let nam = Nam::deep_prototype();
+    println!(
+        "{:>7} {:>16} {:>14} {:>10}",
+        "nodes", "duplicate", "NAM-shared", "speedup"
+    );
+    for nodes in [1usize, 4, 16, 64] {
+        let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5);
+        println!(
+            "{:>7} {:>16} {:>14} {:>9.1}x",
+            nodes,
+            format!("{}", dup.time),
+            format!("{}", shared.time),
+            dup.time / shared.time
+        );
+    }
+}

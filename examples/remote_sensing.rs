@@ -1,0 +1,112 @@
+//! Remote-sensing case study (§III): distributed DL training at scale.
+//!
+//! Reproduces the two halves of the paper's RS experience:
+//! 1. **real** data-parallel training on synthetic BigEarthNet patches,
+//!    showing accuracy is preserved as workers increase;
+//! 2. the **projected** JUWELS-booster scaling to 128 GPUs (Sedona et
+//!    al.) from the calibrated analytic model, plus the cascade-SVM CPU
+//!    path and a QSVM ensemble on the Quantum Module.
+//!
+//! ```sh
+//! cargo run --release --example remote_sensing
+//! ```
+
+use msa_suite::data::bigearth::{self, spectral_features, BigEarthConfig};
+use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
+use msa_suite::msa_core::hw::catalog;
+use msa_suite::msa_net::LinkParams;
+use msa_suite::nn::{models, Adam, SoftmaxCrossEntropy};
+use msa_suite::qa::{train_ensemble, AnnealerSpec, QsvmConfig};
+use msa_suite::tensor::Rng;
+
+fn main() {
+    // ---- 1. Real distributed training: accuracy vs worker count ----
+    let cfg = BigEarthConfig {
+        bands: 3,
+        size: 8,
+        classes: 3,
+        noise: 0.25,
+    };
+    let ds = bigearth::generate(360, &cfg, 11);
+    let (train, test) = ds.split(0.25);
+    let model_fn = |seed: u64| {
+        let mut rng = Rng::seed(seed);
+        models::resnet_mini(3, 3, 8, 1, &mut rng)
+    };
+    println!("== data-parallel training on synthetic BigEarthNet ==");
+    println!("{:>8} {:>10} {:>10}", "workers", "wall [s]", "accuracy");
+    for workers in [1usize, 2, 4] {
+        let tc = TrainConfig {
+            workers,
+            epochs: 5,
+            batch_per_worker: 30 / workers,
+            base_lr: 5e-3,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 7,
+        };
+        let rep = train_data_parallel(
+            &tc,
+            &train,
+            model_fn,
+            |lr| Box::new(Adam::new(lr)),
+            SoftmaxCrossEntropy,
+        );
+        let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
+        println!(
+            "{workers:>8} {:>10.2} {:>9.1}%",
+            rep.wall_secs,
+            acc * 100.0
+        );
+    }
+
+    // ---- 2. Projected ResNet-50 scaling on JUWELS (Sedona et al.) ----
+    println!("\n== projected ResNet-50 scaling, JUWELS booster (A100) ==");
+    let model = ScalingModel::resnet50(catalog::a100(), LinkParams::infiniband_hdr200x4());
+    println!(
+        "{:>6} {:>12} {:>10} {:>11}",
+        "GPUs", "epoch", "speedup", "efficiency"
+    );
+    for p in model.curve(&[1, 2, 4, 8, 16, 32, 64, 96, 128]) {
+        println!(
+            "{:>6} {:>12} {:>10.1} {:>10.1}%",
+            p.gpus,
+            format!("{}", p.epoch_time),
+            p.speedup,
+            p.efficiency * 100.0
+        );
+    }
+
+    // ---- 3. CPU path: parallel cascade SVM on spectral features ----
+    println!("\n== cascade SVM on the cluster module (CPU path) ==");
+    let (feats, labels) = spectral_features(&ds);
+    // Binary task: class 0 vs rest.
+    let ys: Vec<f32> = labels.iter().map(|&l| if l == 0.0 { 1.0 } else { -1.0 }).collect();
+    let svm_cfg = SvmConfig {
+        kernel: Kernel::Rbf { gamma: 1.0 },
+        ..Default::default()
+    };
+    let full = Svm::train(&feats, &ys, &svm_cfg);
+    println!("full SMO:      acc {:.1}%  SVs {}", full.accuracy(&feats, &ys) * 100.0, full.n_support());
+    for parts in [2usize, 4, 8] {
+        let rep = cascade_svm(&feats, &ys, parts, &svm_cfg);
+        println!(
+            "cascade x{parts}:   acc {:.1}%  SVs/level {:?}",
+            rep.model.accuracy(&feats, &ys) * 100.0,
+            rep.sv_per_level
+        );
+    }
+
+    // ---- 4. Quantum Module: QSVM ensemble under device budgets ----
+    println!("\n== QSVM ensembles on the Quantum Module ==");
+    for device in [AnnealerSpec::dwave_2000q(), AnnealerSpec::dwave_advantage()] {
+        let ens = train_ensemble(&feats, &ys, 5, &device, &QsvmConfig::default(), 3);
+        println!(
+            "{:<18} subsample {:>3}/member, 5 members: acc {:.1}%",
+            device.name,
+            ens.subsample,
+            ens.accuracy(&feats, &ys) * 100.0
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration: the full remote-sensing pipeline across crates —
+//! synthetic BigEarthNet data (`data`) → distributed CNN training
+//! (`nn` + `distrib` + `msa-net`) → evaluation, plus the classical and
+//! quantum classifier paths on the same features.
+
+use msa_suite::data::bigearth::{self, spectral_features, BigEarthConfig};
+use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
+use msa_suite::msa_core::hw::catalog;
+use msa_suite::msa_net::LinkParams;
+use msa_suite::nn::{models, Adam, SoftmaxCrossEntropy};
+use msa_suite::qa::{train_ensemble, AnnealerSpec, QsvmConfig};
+use msa_suite::tensor::Rng;
+
+fn rs_dataset(n: usize, seed: u64) -> msa_suite::data::Dataset {
+    bigearth::generate(
+        n,
+        &BigEarthConfig {
+            bands: 3,
+            size: 8,
+            classes: 3,
+            noise: 0.25,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn distributed_cnn_accuracy_is_preserved_across_worker_counts() {
+    // The paper's central DL claim: distributed training reduces time
+    // without affecting prediction accuracy.
+    let ds = rs_dataset(300, 5);
+    let (train, test) = ds.split(0.25);
+    let model_fn = |seed: u64| {
+        let mut rng = Rng::seed(seed);
+        models::resnet_mini(3, 3, 8, 1, &mut rng)
+    };
+    let mut accs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let tc = TrainConfig {
+            workers,
+            epochs: 5,
+            batch_per_worker: (24 / workers).max(1),
+            base_lr: 5e-3,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 7,
+        };
+        let rep = train_data_parallel(
+            &tc,
+            &train,
+            model_fn,
+            |lr| Box::new(Adam::new(lr)),
+            SoftmaxCrossEntropy,
+        );
+        accs.push(evaluate_classifier(model_fn, tc.seed, &rep, &test));
+    }
+    assert!(accs[0] > 0.8, "1-worker accuracy too low: {}", accs[0]);
+    for (w, acc) in [2usize, 4].iter().zip(&accs[1..]) {
+        assert!(
+            *acc > accs[0] - 0.07,
+            "{w}-worker accuracy degraded: {acc} vs {}",
+            accs[0]
+        );
+    }
+}
+
+#[test]
+fn projected_scaling_matches_sedona_shape() {
+    // [18]/[20]: near-linear scaling to 96 and 128 GPUs.
+    let m = ScalingModel::resnet50(catalog::v100(), LinkParams::infiniband_edr());
+    let curve = m.curve(&[1, 96, 128]);
+    assert!(curve[1].speedup > 75.0, "96-GPU speedup {}", curve[1].speedup);
+    assert!(curve[2].speedup > 100.0, "128-GPU speedup {}", curve[2].speedup);
+    assert!(curve[2].speedup > curve[1].speedup);
+    // And the booster generation is strictly better end-to-end.
+    let a = ScalingModel::resnet50(catalog::a100(), LinkParams::infiniband_hdr200x4());
+    assert!(a.epoch_time(128) < m.epoch_time(128));
+}
+
+#[test]
+fn classical_and_quantum_classifiers_work_on_the_same_features() {
+    let ds = bigearth::generate(
+        500,
+        &BigEarthConfig {
+            bands: 4,
+            size: 4,
+            classes: 2,
+            noise: 3.0,
+        },
+        31,
+    );
+    let (feats, labels) = spectral_features(&ds);
+    let ys: Vec<f32> = labels
+        .iter()
+        .map(|&l| if l == 0.0 { 1.0 } else { -1.0 })
+        .collect();
+    let (train_x, test_x) = feats.split_at(350);
+    let (train_y, test_y) = ys.split_at(350);
+
+    let svm_cfg = SvmConfig {
+        kernel: Kernel::Rbf { gamma: 1.0 },
+        ..Default::default()
+    };
+    let classical = Svm::train(train_x, train_y, &svm_cfg);
+    let acc_classical = classical.accuracy(test_x, test_y);
+    assert!(acc_classical > 0.8, "classical SVM {acc_classical}");
+
+    let cascade = cascade_svm(train_x, train_y, 4, &svm_cfg);
+    let acc_cascade = cascade.model.accuracy(test_x, test_y);
+    assert!(
+        acc_cascade > acc_classical - 0.08,
+        "cascade {acc_cascade} vs full {acc_classical}"
+    );
+
+    let ens = train_ensemble(
+        train_x,
+        train_y,
+        5,
+        &AnnealerSpec::dwave_advantage(),
+        &QsvmConfig {
+            kernel: Kernel::Rbf { gamma: 1.0 },
+            ..Default::default()
+        },
+        3,
+    );
+    let acc_q = ens.accuracy(test_x, test_y);
+    assert!(
+        acc_q > acc_classical - 0.15,
+        "QSVM ensemble too far behind: {acc_q} vs {acc_classical}"
+    );
+}

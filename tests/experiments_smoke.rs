@@ -1,0 +1,114 @@
+//! Integration: the experiment harness itself — every cheap experiment
+//! renders and contains the headline claims it is supposed to reproduce.
+//! (The expensive training experiments are covered by the end-to-end
+//! tests; here we assert on the analytic ones.)
+
+#[test]
+fn e1_reproduces_table_i_lines() {
+    let s = bench::run("e1");
+    assert!(s.contains("16 nodes with 2x Intel Xeon Cascade Lake"));
+    assert!(s.contains("16 NVIDIA V100 GPU"));
+    assert!(s.contains("2x 1.5 TB NVMe SSD"));
+    assert!(s.contains("JUWELS"));
+}
+
+#[test]
+fn e2_shows_full_design_match() {
+    let s = bench::run("e2");
+    assert!(s.contains("5/5 workload classes land on the module the MSA intends"));
+    assert!(!s.contains("[MISMATCH]"));
+}
+
+#[test]
+fn e8_shows_gce_wins() {
+    let s = bench::run("e8");
+    assert!(s.contains("GCE win"));
+    // At least one configuration shows a >2x GCE advantage.
+    let wins: Vec<f64> = s
+        .lines()
+        .filter_map(|l| l.rsplit_once(' ').and_then(|(_, last)| last.strip_suffix('x')))
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    assert!(!wins.is_empty());
+    assert!(wins.iter().any(|&w| w > 2.0), "GCE wins: {wins:?}");
+    // GCE never loses to the best software algorithm in this sweep.
+    assert!(wins.iter().all(|&w| w >= 1.0), "GCE wins: {wins:?}");
+}
+
+#[test]
+fn e9_shows_nam_speedup_growing_with_nodes() {
+    let s = bench::run("e9");
+    let speedups: Vec<f64> = s
+        .lines()
+        .filter_map(|l| {
+            let cols: Vec<&str> = l.split_whitespace().collect();
+            if cols.len() == 5 && cols[3].ends_with('x') {
+                cols[3].trim_end_matches('x').parse().ok()
+            } else {
+                None
+            }
+        })
+        .collect();
+    assert!(speedups.len() >= 4, "rows parsed: {speedups:?}");
+    assert!(
+        speedups.windows(2).all(|w| w[1] >= w[0]),
+        "speedup must grow with node count: {speedups:?}"
+    );
+    assert!(*speedups.last().unwrap() > 5.0);
+}
+
+#[test]
+fn e10_shows_dam_memory_cliff() {
+    let s = bench::run("e10");
+    assert!(s.contains("working set"));
+    assert!(s.contains("map-reduce per-class spectral means"));
+}
+
+#[test]
+fn e12_shows_modular_split_win() {
+    let s = bench::run("e12");
+    assert!(s.contains("modular split speedup"));
+    // Parse "speedup: X.XXx" and require > 1.
+    let x = s
+        .split("modular split speedup: ")
+        .nth(1)
+        .and_then(|r| r.split('x').next())
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .expect("speedup parses");
+    assert!(x > 1.2, "modular split should win clearly: {x}");
+}
+
+#[test]
+fn e13_shows_nam_checkpoint_advantage() {
+    let s = bench::run("e13");
+    assert!(s.contains("SSSM (Lustre)"));
+    assert!(s.contains("NAM"));
+    // Both rows report overheads; NAM's must be lower.
+    let overheads: Vec<f64> = s
+        .lines()
+        .filter(|l| l.starts_with("SSSM") || l.starts_with("NAM"))
+        .filter_map(|l| {
+            l.rsplit_once(' ')
+                .and_then(|(_, v)| v.trim_end_matches('%').trim().parse().ok())
+        })
+        .collect();
+    assert_eq!(overheads.len(), 2, "rows: {s}");
+    assert!(overheads[1] < overheads[0], "NAM overhead must be lower: {overheads:?}");
+}
+
+#[test]
+fn e14_reserved_dam_fixes_tail_latency() {
+    let s = bench::run("e14");
+    assert!(s.contains("reserved DAM"));
+    // The reserved scenario starts every session within 10 s.
+    let line = s
+        .lines()
+        .find(|l| l.starts_with("reserved DAM"))
+        .expect("reserved row");
+    assert!(line.contains("100%"), "reserved row: {line}");
+}
+
+#[test]
+fn unknown_id_is_handled() {
+    assert!(bench::run("nope").contains("unknown experiment"));
+}

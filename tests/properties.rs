@@ -1,0 +1,279 @@
+//! Property-based tests over the core invariants of the workspace, using
+//! proptest: collectives compute exactly what serial code computes,
+//! cost models are monotone, the annealer never reports inconsistent
+//! energies, the data engine preserves multisets.
+
+use msa_suite::distrib::compress::{densify, top_k};
+use msa_suite::hpda::Pdata;
+use msa_suite::msa_net::fabric::{simulate as simulate_fabric, FatTree, Flow};
+use msa_suite::msa_core::SimTime;
+use msa_suite::msa_net::{CollectiveAlgo, Communicator, LinkParams, ThreadComm};
+use msa_suite::qa::{anneal, brute_force, Qubo, SaParams};
+use msa_suite::tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use msa_suite::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_allreduce_equals_serial_sum(
+        ranks in 2usize..6,
+        len in 0usize..40,
+        base in -100.0f32..100.0,
+    ) {
+        let results = ThreadComm::run(ranks, |c| {
+            use msa_suite::msa_net::PointToPoint as _;
+            let mut buf: Vec<f32> =
+                (0..len).map(|i| base + (c.rank() * len + i) as f32).collect();
+            c.allreduce_sum(&mut buf);
+            buf
+        });
+        let expected: Vec<f32> = (0..len)
+            .map(|i| (0..ranks).map(|r| base + (r * len + i) as f32).sum())
+            .collect();
+        for buf in results {
+            for (a, b) in buf.iter().zip(&expected) {
+                prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_every_rank_block(
+        ranks in 1usize..6,
+        len in 1usize..12,
+    ) {
+        let results = ThreadComm::run(ranks, |c| {
+            use msa_suite::msa_net::PointToPoint as _;
+            let mine = vec![c.rank() as f32; len];
+            c.allgather(&mine)
+        });
+        for blocks in results {
+            prop_assert_eq!(blocks.len(), ranks);
+            for (r, b) in blocks.iter().enumerate() {
+                prop_assert_eq!(b, &vec![r as f32; len]);
+            }
+        }
+    }
+
+    #[test]
+    fn collective_costs_are_monotone_in_message_size(
+        p in 2usize..256,
+        bytes in 1.0f64..1e8,
+    ) {
+        let link = LinkParams::infiniband_edr();
+        for algo in CollectiveAlgo::all() {
+            let t1 = algo.allreduce_time(p, bytes, link);
+            let t2 = algo.allreduce_time(p, bytes * 2.0, link);
+            prop_assert!(t2 >= t1, "{algo:?} not monotone at p={p}, bytes={bytes}");
+        }
+    }
+
+    #[test]
+    fn simtime_ordering_is_consistent_with_secs(
+        a in 0.0f64..1e6,
+        b in 0.0f64..1e6,
+    ) {
+        let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert!((ta + tb).as_secs() == a + b);
+        prop_assert!(ta.max(tb).as_secs() == a.max(b));
+    }
+
+    #[test]
+    fn annealer_energy_reports_are_self_consistent(
+        n in 2usize..14,
+        seed in 0u64..50,
+    ) {
+        // Random QUBO: all returned samples must carry their true energy,
+        // and SA on small problems must reach the brute-force optimum
+        // given enough restarts.
+        let mut q = Qubo::new(n);
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f64 / (1u64 << 24) as f64 - 0.5
+        };
+        for i in 0..n {
+            q.add_linear(i, next());
+            for j in (i + 1)..n {
+                q.add_quadratic(i, j, next());
+            }
+        }
+        let samples = anneal(&q, &SaParams { sweeps: 300, restarts: 12, ..Default::default() });
+        for s in &samples {
+            prop_assert!((q.energy(&s.bits) - s.energy).abs() < 1e-9);
+        }
+        let exact = brute_force(&q);
+        prop_assert!(samples[0].energy <= exact.energy + 1e-6);
+    }
+
+    #[test]
+    fn pdata_roundtrip_preserves_multiset(
+        items in prop::collection::vec(0i64..1000, 0..200),
+        parts in 1usize..9,
+    ) {
+        let d = Pdata::from_vec(items.clone(), parts);
+        prop_assert_eq!(d.count(), items.len());
+        let mut collected = d.collect();
+        let mut original = items.clone();
+        collected.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(collected, original);
+        // reduce == serial fold
+        let sum = d.reduce(|a, b| a + b);
+        prop_assert_eq!(sum, items.iter().copied().reduce(|a, b| a + b));
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap(
+        pairs in prop::collection::vec((0u32..20, 1u64..5), 0..150),
+        parts in 1usize..6,
+    ) {
+        let d = Pdata::from_vec(pairs.clone(), parts);
+        let mut got: Vec<(u32, u64)> = d.reduce_by_key(|a, b| a + b).collect();
+        got.sort_unstable();
+        let mut want = std::collections::BTreeMap::new();
+        for (k, v) in pairs {
+            *want.entry(k).or_insert(0u64) += v;
+        }
+        let want: Vec<(u32, u64)> = want.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matmul_transpose_identities(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = msa_suite::tensor::Rng::seed(seed);
+        let a = rng.normal_tensor(&[m, k], 1.0);
+        let b = rng.normal_tensor(&[k, n], 1.0);
+        let c = matmul(&a, &b);
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = c.transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        // tn/nt agree with explicit transposes
+        let tn = matmul_tn(&a.transpose(), &b);
+        for (x, y) in tn.data().iter().zip(c.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let nt = matmul_nt(&a, &b.transpose());
+        for (x, y) in nt.data().iter().zip(c.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        cols in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = msa_suite::tensor::Rng::seed(seed);
+        let t = rng.normal_tensor(&[rows, cols], 10.0);
+        let s = t.softmax_rows();
+        for r in 0..rows {
+            let row = s.row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn top_k_is_a_projection_preserving_largest_mass(
+        values in prop::collection::vec(-100.0f32..100.0, 1..64),
+        k in 1usize..16,
+    ) {
+        let (idx, vals) = top_k(&values, k);
+        let k_eff = k.min(values.len());
+        prop_assert_eq!(idx.len(), k_eff);
+        // Indices strictly ascending and in range.
+        for w in idx.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Every kept entry is ≥ every dropped entry in magnitude.
+        let kept: std::collections::HashSet<u32> = idx.iter().copied().collect();
+        let min_kept = vals.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, v) in values.iter().enumerate() {
+            if !kept.contains(&(i as u32)) {
+                prop_assert!(v.abs() <= min_kept + 1e-6);
+            }
+        }
+        // densify ∘ top_k is idempotent under a second top_k.
+        let dense = densify(values.len(), &idx, &vals);
+        let (idx2, vals2) = top_k(&dense, k_eff);
+        let d2 = densify(values.len(), &idx2, &vals2);
+        prop_assert_eq!(dense, d2);
+    }
+
+    #[test]
+    fn fabric_flows_never_beat_line_rate_and_all_finish(
+        n_flows in 1usize..12,
+        seed in 0u64..60,
+    ) {
+        let tree = FatTree::full_bisection(4, 4, 10.0);
+        let nodes = tree.nodes();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let flows: Vec<Flow> = (0..n_flows)
+            .filter_map(|_| {
+                let src = (next() % nodes as u64) as usize;
+                let dst = (next() % nodes as u64) as usize;
+                if src == dst {
+                    return None;
+                }
+                Some(Flow {
+                    src,
+                    dst,
+                    bytes: 1e6 + (next() % 1000) as f64 * 1e6,
+                    start: SimTime::from_secs((next() % 100) as f64 * 0.01),
+                })
+            })
+            .collect();
+        if flows.is_empty() {
+            return Ok(());
+        }
+        let results = simulate_fabric(&tree, &flows);
+        prop_assert_eq!(results.len(), flows.len());
+        for (f, r) in flows.iter().zip(&results) {
+            // Finish after start, and never faster than NIC line rate.
+            let min_dur = f.bytes / (10.0 * 1e9);
+            prop_assert!(r.finish.as_secs() >= f.start.as_secs() + min_dur - 1e-9);
+            prop_assert!(r.mean_gbs <= 10.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn dataset_sharding_partitions_exactly(
+        n in 1usize..100,
+        shards in 1usize..10,
+    ) {
+        let ds = msa_suite::data::Dataset {
+            x: Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), &[n, 2]),
+            y: Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n]),
+        };
+        let mut seen = Vec::new();
+        for s in 0..shards {
+            let shard = ds.shard(s, shards);
+            seen.extend(shard.y.data().iter().copied());
+        }
+        seen.sort_by(f32::total_cmp);
+        let want: Vec<f32> = (0..n).map(|v| v as f32).collect();
+        prop_assert_eq!(seen, want);
+    }
+}
