@@ -67,7 +67,8 @@ fn header(id: &str, title: &str) -> String {
 pub fn e1_system_tables() -> String {
     let mut out = header("E1", "Table I + system inventories (paper §II-B)");
     let deep = presets::deep();
-    let dam = deep.module_of_kind(ModuleKind::DataAnalytics).unwrap();
+    // lint: allow(unwrap) -- preset invariant: DEEP statically defines a DAM module
+    let dam = deep.module_of_kind(ModuleKind::DataAnalytics).expect("DEEP preset has a DAM");
     out.push_str(&module_spec_table(dam));
     out.push('\n');
     out.push_str(&system_inventory(&deep));
@@ -141,7 +142,7 @@ pub fn e3_scaling() -> String {
             out,
             "{workers:>8} {:>10.2} {:>12.4} {:>9.1}%",
             rep.wall_secs,
-            rep.epochs.last().unwrap().mean_loss,
+            rep.epochs.last().map_or(f32::NAN, |e| e.mean_loss),
             acc * 100.0
         );
     }
@@ -656,9 +657,9 @@ pub fn e12_modular_workflow() -> String {
         "modular workflow: train here, scale inference out there (paper §II-A)",
     );
     let deep = presets::deep();
-    let dam = deep.module_of_kind(ModuleKind::DataAnalytics).unwrap();
-    let esb = deep.module_of_kind(ModuleKind::Booster).unwrap();
-    let link = deep.link(dam.id, esb.id).unwrap();
+    let dam = deep.module_of_kind(ModuleKind::DataAnalytics).expect("DEEP preset has a DAM"); // lint: allow(unwrap) -- preset invariant: DEEP defines DAM and ESB
+    let esb = deep.module_of_kind(ModuleKind::Booster).expect("DEEP preset has an ESB");
+    let link = deep.link(dam.id, esb.id).expect("DEEP wires DAM to ESB"); // lint: allow(unwrap) -- preset invariant: DEEP wires every module pair
     let campaign = MlCampaign::resnet50_landcover();
 
     let colocated = campaign.colocated(dam, 16);

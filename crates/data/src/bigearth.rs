@@ -65,8 +65,7 @@ pub fn generate(n: usize, cfg: &BigEarthConfig, seed: u64) -> Dataset {
         let (freq, theta, amp) = textures[class];
         let phase = rng.uniform(0.0, std::f32::consts::TAU); // translation invariance
         let (ct, st) = (theta.cos(), theta.sin());
-        for b in 0..cfg.bands {
-            let base = signatures[class][b];
+        for (b, &base) in signatures[class].iter().enumerate() {
             // Band-dependent texture gain (texture is stronger in the
             // "visible" low bands, like real imagery).
             let gain = amp / (1.0 + b as f32 * 0.5);
@@ -115,6 +114,9 @@ pub fn generate_multilabel(n: usize, cfg: &BigEarthConfig, seed: u64) -> Dataset
         }
         // Column ownership: equal-width bands.
         let band_of = |xx: usize| present[(xx * present.len()) / s];
+        // The signature index order is [class][band] and the class varies
+        // per column, so there is no single band vector to iterate.
+        #[allow(clippy::needless_range_loop)]
         for b in 0..cfg.bands {
             for _yy in 0..s {
                 for xx in 0..s {

@@ -95,9 +95,9 @@ pub fn generate(n: usize, cfg: &IcuConfig, seed: u64) -> IcuCohort {
             .collect();
         // AR(1) mean reversion toward severity-shifted baseline.
         let mut state: Vec<f32> = baselines.clone();
-        for tt in 0..t {
+        for &sev in &severity {
             for (f, &(_, speed, coupling)) in DYNAMICS.iter().enumerate() {
-                let target = baselines[f] + coupling * severity[tt];
+                let target = baselines[f] + coupling * sev;
                 state[f] += speed * (target - state[f]) + rng.normal() * cfg.noise;
                 truth.push(state[f]);
                 // Missingness: MCAR plus occasional charting gaps (a whole
@@ -154,16 +154,16 @@ pub fn imputation_task(
             // First decide per-feature visibility for this step.
             let mut vis = [false; FEATURES];
             let mut hidden_target = false;
-            for f in 0..FEATURES {
+            for (f, v) in vis.iter_mut().enumerate() {
                 let obs = cohort.observed.data()[base + f] != 0.0;
                 let hide = f == target_feature && obs && rng.chance(hide_rate);
-                vis[f] = obs && !hide;
+                *v = obs && !hide;
                 if hide {
                     hidden_target = true;
                 }
             }
-            for f in 0..FEATURES {
-                inputs.push(if vis[f] {
+            for (f, &v) in vis.iter().enumerate() {
+                inputs.push(if v {
                     cohort.truth.data()[base + f]
                 } else {
                     0.0

@@ -115,6 +115,7 @@ where
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
+    // lint: allow(unwrap) -- ThreadComm::run returns one result per rank and workers >= 1
     let rank0 = results.into_iter().next().expect("at least one rank");
     TrainReport {
         wall_secs,

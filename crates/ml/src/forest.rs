@@ -193,7 +193,7 @@ impl RandomForest {
     pub fn train(xs: &[Vec<f32>], labels: &[usize], cfg: &RandomForestConfig) -> RandomForest {
         assert_eq!(xs.len(), labels.len());
         assert!(!xs.is_empty());
-        let classes = labels.iter().max().unwrap() + 1;
+        let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
         let n = xs.len();
         let trees: Vec<Node> = (0..cfg.n_trees)
             .into_par_iter()

@@ -30,10 +30,20 @@ pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
 pub fn macro_f1(actual: &[usize], predicted: &[usize], classes: usize) -> f64 {
     let m = confusion_matrix(actual, predicted, classes);
     let mut f1s = Vec::new();
-    for c in 0..classes {
-        let tp = m[c][c];
-        let fp: usize = (0..classes).filter(|&r| r != c).map(|r| m[r][c]).sum();
-        let fn_: usize = (0..classes).filter(|&p| p != c).map(|p| m[c][p]).sum();
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c];
+        let fp: usize = m
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != c)
+            .map(|(_, other)| other[c])
+            .sum();
+        let fn_: usize = row
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| p != c)
+            .map(|(_, &v)| v)
+            .sum();
         if tp + fp + fn_ == 0 {
             continue;
         }

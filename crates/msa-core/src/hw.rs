@@ -6,10 +6,9 @@
 //! parameterised by these specs; only *ratios* between them (A100 vs
 //! V100, NVLink vs PCIe, …) are load-bearing for the reproduction.
 
-use serde::{Deserialize, Serialize};
 
 /// A multi- or many-core CPU.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     /// Marketing name, e.g. "Intel Xeon Platinum 8168".
     pub name: &'static str,
@@ -26,7 +25,7 @@ pub struct CpuSpec {
 }
 
 /// A GPU accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name, e.g. "NVIDIA A100".
     pub name: &'static str,
@@ -46,7 +45,7 @@ pub struct GpuSpec {
 
 /// An FPGA accelerator (e.g. the Stratix-10 in the DEEP DAM, or the
 /// Global Collective Engine in the ESB fabric).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -60,7 +59,7 @@ pub struct FpgaSpec {
 
 /// Kind of a memory/storage tier. Ordering reflects the hierarchy:
 /// smaller discriminant = faster/closer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemoryKind {
     /// On-package high-bandwidth memory (GPU HBM2).
     Hbm,
@@ -75,7 +74,7 @@ pub enum MemoryKind {
 }
 
 /// One tier of the memory hierarchy.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySpec {
     pub kind: MemoryKind,
     /// Capacity in GiB (per node for node-local tiers, aggregate for
@@ -90,7 +89,7 @@ pub struct MemorySpec {
 }
 
 /// A block storage device.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageSpec {
     pub name: &'static str,
     pub capacity_tb: f64,
@@ -99,7 +98,7 @@ pub struct StorageSpec {
 }
 
 /// Full specification of one node type.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     pub name: &'static str,
     pub cpu: CpuSpec,

@@ -3,11 +3,10 @@
 //! network federation ([`crate::system`]).
 
 use crate::hw::{MemoryKind, NodeSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a module within one [`crate::system::MsaSystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModuleId(pub usize);
 
 impl fmt::Display for ModuleId {
@@ -17,7 +16,7 @@ impl fmt::Display for ModuleId {
 }
 
 /// The module kinds of the MSA (paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModuleKind {
     /// Cluster Module: multi-core CPUs, fast single-thread performance,
     /// good memory; for low/medium-scalable codes with high data
@@ -71,7 +70,7 @@ impl fmt::Display for ModuleKind {
 
 /// One module: `node_count` identical nodes of `node` spec, plus a
 /// module-internal interconnect description.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Module {
     pub id: ModuleId,
     pub kind: ModuleKind,

@@ -3,10 +3,9 @@
 
 use crate::hw::catalog;
 use crate::module::{Module, ModuleId, ModuleKind};
-use serde::Serialize;
 
 /// A link of the high-performance network federation joining two modules.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FederationLink {
     pub a: ModuleId,
     pub b: ModuleId,
@@ -17,7 +16,7 @@ pub struct FederationLink {
 }
 
 /// A complete Modular Supercomputing Architecture system.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MsaSystem {
     pub name: String,
     pub modules: Vec<Module>,
@@ -119,6 +118,7 @@ impl SystemBuilder {
     pub fn with_gce(mut self) -> Self {
         self.modules
             .last_mut()
+            // lint: allow(unwrap) -- builder misuse panic is the API contract
             .expect("with_gce called before any module")
             .has_gce = true;
         self
@@ -129,6 +129,7 @@ impl SystemBuilder {
         let m = self
             .modules
             .last_mut()
+            // lint: allow(unwrap) -- builder misuse panic is the API contract
             .expect("with_annealer called before any module");
         m.qubits = Some(qubits);
         m.couplers = Some(couplers);

@@ -12,10 +12,9 @@
 use crate::energy::PowerModel;
 use crate::module::{Module, ModuleKind};
 use crate::simtime::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Broad classes of application workloads seen at an HPC centre.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadClass {
     /// Traditional modelling & simulation, moderate scalability, heavy
     /// data management (earth system, biophysics).
@@ -61,7 +60,7 @@ impl WorkloadClass {
 }
 
 /// Quantitative profile of one application part.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadProfile {
     pub name: String,
     pub class: WorkloadClass,
@@ -223,46 +222,61 @@ mod tests {
     use crate::system::presets;
 
     #[test]
-    fn dl_training_prefers_booster_over_cluster() {
+    fn dl_training_prefers_booster_over_cluster() -> Result<(), String> {
         let j = presets::juwels();
         let w = WorkloadProfile::canonical(WorkloadClass::DlTraining);
-        let cluster = j.module_of_kind(ModuleKind::Cluster).unwrap();
-        let booster = j.module_of_kind(ModuleKind::Booster).unwrap();
+        let cluster = j
+            .module_of_kind(ModuleKind::Cluster)
+            .ok_or("JUWELS preset lacks a Cluster module")?;
+        let booster = j
+            .module_of_kind(ModuleKind::Booster)
+            .ok_or("JUWELS preset lacks a Booster module")?;
         let tc = w.time_on(cluster, 16);
         let tb = w.time_on(booster, 16);
         assert!(
             tb < tc / 10.0,
             "booster should be >10x faster for DL: booster={tb} cluster={tc}"
         );
+        Ok(())
     }
 
     #[test]
-    fn big_memory_analytics_prefers_dam_nvm_over_cluster() {
+    fn big_memory_analytics_prefers_dam_nvm_over_cluster() -> Result<(), String> {
         let d = presets::deep();
         let w = WorkloadProfile::canonical(WorkloadClass::DataAnalytics);
-        let dam = d.module_of_kind(ModuleKind::DataAnalytics).unwrap();
-        let cm = d.module_of_kind(ModuleKind::Cluster).unwrap();
+        let dam = d
+            .module_of_kind(ModuleKind::DataAnalytics)
+            .ok_or("DEEP preset lacks a DataAnalytics module")?;
+        let cm = d
+            .module_of_kind(ModuleKind::Cluster)
+            .ok_or("DEEP preset lacks a Cluster module")?;
         // On 4 nodes the 5 TB working set spills on both, but the DAM
         // serves spill from local NVMe, the CM from the network.
         assert!(w.memory_penalty(dam, 4) < w.memory_penalty(cm, 4));
+        Ok(())
     }
 
     #[test]
-    fn more_nodes_reduce_time_for_scalable_work() {
+    fn more_nodes_reduce_time_for_scalable_work() -> Result<(), String> {
         let j = presets::juwels();
-        let b = j.module_of_kind(ModuleKind::Booster).unwrap();
+        let b = j
+            .module_of_kind(ModuleKind::Booster)
+            .ok_or("JUWELS preset lacks a Booster module")?;
         let w = WorkloadProfile::canonical(WorkloadClass::HighlyScalable);
         let t1 = w.time_on(b, 1);
         let t16 = w.time_on(b, 16);
         let t64 = w.time_on(b, 64);
         assert!(t16 < t1);
         assert!(t64 < t16);
+        Ok(())
     }
 
     #[test]
-    fn amdahl_limits_serial_workload_scaling() {
+    fn amdahl_limits_serial_workload_scaling() -> Result<(), String> {
         let j = presets::juwels();
-        let c = j.module_of_kind(ModuleKind::Cluster).unwrap();
+        let c = j
+            .module_of_kind(ModuleKind::Cluster)
+            .ok_or("JUWELS preset lacks a Cluster module")?;
         let mut w = WorkloadProfile::canonical(WorkloadClass::Simulation);
         w.parallel_fraction = 0.5;
         w.working_set_gib = 0.0;
@@ -271,15 +285,19 @@ mod tests {
         // Amdahl: max speedup 2x at p=0.5.
         assert!(t1 / t256 < 2.01);
         assert!(t1 / t256 > 1.5);
+        Ok(())
     }
 
     #[test]
-    fn no_memory_penalty_when_fits() {
+    fn no_memory_penalty_when_fits() -> Result<(), String> {
         let d = presets::deep();
-        let dam = d.module_of_kind(ModuleKind::DataAnalytics).unwrap();
+        let dam = d
+            .module_of_kind(ModuleKind::DataAnalytics)
+            .ok_or("DEEP preset lacks a DataAnalytics module")?;
         let mut w = WorkloadProfile::canonical(WorkloadClass::DataAnalytics);
         w.working_set_gib = 100.0;
         assert_eq!(w.memory_penalty(dam, 16), 1.0);
+        Ok(())
     }
 
     #[test]
@@ -292,11 +310,14 @@ mod tests {
     }
 
     #[test]
-    fn energy_positive_and_scales_with_time() {
+    fn energy_positive_and_scales_with_time() -> Result<(), String> {
         let d = presets::deep();
-        let cm = d.module_of_kind(ModuleKind::Cluster).unwrap();
+        let cm = d
+            .module_of_kind(ModuleKind::Cluster)
+            .ok_or("DEEP preset lacks a Cluster module")?;
         let w = WorkloadProfile::canonical(WorkloadClass::Simulation);
         let e8 = w.energy_on(cm, 8);
         assert!(e8 > 0.0);
+        Ok(())
     }
 }

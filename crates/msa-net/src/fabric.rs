@@ -157,8 +157,8 @@ fn max_min_rates(tree: &FatTree, flows: &[ActiveFlow]) -> Vec<f64> {
             rates[i] = share;
             remaining -= 1;
             for &l in &f.path {
-                *cap.get_mut(&l).unwrap() -= share;
-                *count.get_mut(&l).unwrap() -= 1;
+                *cap.get_mut(&l).expect("path link seeded at setup") -= share; // lint: allow(unwrap) -- every path link is seeded into cap/count at setup
+                *count.get_mut(&l).expect("path link seeded at setup") -= 1;
             }
         }
     }
@@ -228,6 +228,7 @@ pub fn simulate(tree: &FatTree, flows: &[Flow]) -> Vec<FlowResult> {
 
     results
         .into_iter()
+        // lint: allow(unwrap) -- the waterfilling loop terminates only when every flow has a rate
         .map(|r| r.expect("every flow completes"))
         .collect()
 }

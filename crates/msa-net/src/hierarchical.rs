@@ -31,6 +31,7 @@ impl<'a, C: PointToPoint + ?Sized> GroupComm<'a, C> {
         let my_index = members
             .iter()
             .position(|&r| r == parent.rank())
+            // lint: allow(unwrap) -- documented panic: GroupComm::new requires membership
             .expect("calling rank must be a group member");
         GroupComm {
             parent,

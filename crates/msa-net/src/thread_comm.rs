@@ -42,26 +42,28 @@ impl ThreadComm {
     /// Builds `n` fully-connected endpoints. `n` must be ≥ 1.
     pub fn create(n: usize) -> Vec<ThreadComm> {
         assert!(n >= 1, "communicator needs at least one rank");
-        // mesh[i][j] = channel for i → j
-        let mut tx: Vec<Vec<Option<Sender<Vec<f32>>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
-        let mut rx: Vec<Vec<Option<Receiver<Vec<f32>>>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
-        for i in 0..n {
-            for j in 0..n {
-                let (s, r) = unbounded();
-                tx[i][j] = Some(s);
-                rx[i][j] = Some(r);
+        // One row of channels per *sender* i, transposing the receiver
+        // ends as we go so that rank j ends up owning
+        // `receivers[from] = row[from][j]` — no placeholder `Option`s.
+        let mut tx_rows: Vec<Vec<Sender<Vec<f32>>>> = Vec::with_capacity(n);
+        let mut rx_cols: Vec<Vec<Receiver<Vec<f32>>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for _ in 0..n {
+            let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+            tx_rows.push(senders);
+            for (j, r) in receivers.into_iter().enumerate() {
+                rx_cols[j].push(r);
             }
         }
-        (0..n)
-            .map(|rank| ThreadComm {
+        tx_rows
+            .into_iter()
+            .zip(rx_cols)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| ThreadComm {
                 rank,
                 size: n,
-                senders: tx[rank].iter_mut().map(|s| s.take().unwrap()).collect(),
-                receivers: (0..n).map(|from| rx[from][rank].take().unwrap()).collect(),
+                senders,
+                receivers,
             })
             .collect()
     }
@@ -80,7 +82,10 @@ impl ThreadComm {
                 .iter()
                 .map(|c| scope.spawn(|| f(c)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
         })
     }
 }
@@ -99,6 +104,7 @@ impl PointToPoint for ThreadComm {
         // Unbounded channel: never blocks; peer death is a test bug.
         self.senders[to]
             .send(data)
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
             .expect("peer endpoint dropped while communicator in use");
     }
 
@@ -106,6 +112,7 @@ impl PointToPoint for ThreadComm {
         assert!(from < self.size && from != self.rank, "invalid peer {from}");
         self.receivers[from]
             .recv()
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
             .expect("peer endpoint dropped while communicator in use")
     }
 }

@@ -168,6 +168,7 @@ pub fn schedule_coalloc(sys: &MsaSystem, jobs: &[CoallocJob]) -> CoallocReport {
     let outcomes: Vec<CoallocOutcome> = state
         .outcomes
         .into_iter()
+        // lint: allow(unwrap) -- simulation invariant: the engine runs every job to completion
         .map(|o| o.expect("all co-allocated jobs must finish"))
         .collect();
     let makespan = outcomes

@@ -88,6 +88,7 @@ pub fn compare_interactive(
 ) -> (InteractiveReport, InteractiveReport) {
     let dam = sys
         .module_of_kind(ModuleKind::DataAnalytics)
+        // lint: allow(unwrap) -- interactive-study systems always include a DAM
         .expect("system needs a DAM")
         .id;
     let batch = generate_trace(batch_cfg);

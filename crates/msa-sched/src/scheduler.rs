@@ -193,6 +193,7 @@ pub fn schedule(sys: &MsaSystem, jobs: &[JobSpec], policy: &dyn Placement) -> Sc
     let outcomes: Vec<JobOutcome> = state
         .outcomes
         .into_iter()
+        // lint: allow(unwrap) -- simulation invariant: the engine runs every job to completion
         .map(|o| o.expect("every job must complete"))
         .collect();
     let makespan = outcomes

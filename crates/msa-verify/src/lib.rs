@@ -1,0 +1,24 @@
+//! Static verification for the MSA workspace.
+//!
+//! Two engines live here:
+//!
+//! * [`checker`] — a bounded-buffer **model checker** for collective
+//!   communication schedules. Algorithms from `msa-net::collectives` run
+//!   against an instrumented [`checker::TraceComm`]; the harness replays
+//!   the recorded send/recv events under an explicit channel-capacity
+//!   model and proves (or refutes, with a wait-cycle report) that the
+//!   schedule is deadlock-free, that every send is matched by exactly one
+//!   size-consistent recv, and that all ranks observe the same collective
+//!   sequence.
+//! * [`lint`] — the `msa-lint` workspace scanner enforcing repo
+//!   invariants rustc/clippy cannot express (`cargo run -p msa-verify
+//!   --bin msa-lint`).
+
+pub mod checker;
+pub mod lint;
+
+pub use checker::{
+    check_schedule, Capacity, CheckFailure, DeadlockReport, ScheduleReport, TraceComm, Violation,
+    WaitEdge, WaitKind,
+};
+pub use lint::{lint_paths, lint_source, lint_workspace, Finding, Profile};

@@ -1,0 +1,173 @@
+//! Acceptance suite for the `msa-lint` binary: each banned pattern in a
+//! fixture file must produce a finding (exit 1, `file:line: rule — msg`
+//! on stdout), and the real workspace must lint clean (exit 0).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_msa-lint")
+}
+
+fn fixture_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    // Stale files from a previous run would pollute the directory walk.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    dir
+}
+
+fn run_on(paths: &[&Path]) -> Output {
+    Command::new(lint_bin())
+        .args(paths)
+        .output()
+        .expect("spawn msa-lint")
+}
+
+/// Writes `source` to a fixture file and returns msa-lint's findings on
+/// it, asserting the exit status is 1 (findings present).
+fn findings_for(name: &str, source: &str) -> String {
+    let dir = fixture_dir(name);
+    let file = dir.join("fixture.rs");
+    std::fs::write(&file, source).expect("write fixture");
+    let out = run_on(&[&file]);
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "expected findings for {name}; stdout:\n{stdout}"
+    );
+    stdout
+}
+
+#[test]
+fn unwrap_in_library_code_is_flagged() {
+    let stdout = findings_for(
+        "unwrap",
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: unwrap"), "{stdout}");
+}
+
+#[test]
+fn expect_in_library_code_is_flagged() {
+    let stdout = findings_for(
+        "expect",
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.expect(\"present\")\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: unwrap"), "{stdout}");
+}
+
+#[test]
+fn thread_spawn_is_flagged() {
+    let stdout = findings_for(
+        "spawn",
+        "pub fn f() {\n    std::thread::spawn(|| ());\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: thread-spawn"), "{stdout}");
+}
+
+#[test]
+fn float_equality_is_flagged() {
+    let stdout = findings_for(
+        "floateq",
+        "pub fn f(x: f32) -> bool {\n    x == 0.0\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: float-eq"), "{stdout}");
+}
+
+#[test]
+fn pub_event_fields_are_flagged() {
+    let stdout = findings_for(
+        "pubfield",
+        "pub struct StepEvent {\n    pub rank: usize,\n    when: f64,\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: pub-event-field"), "{stdout}");
+    assert!(!stdout.contains("fixture.rs:3:"), "{stdout}");
+}
+
+#[test]
+fn unjustified_allow_does_not_suppress() {
+    let stdout = findings_for(
+        "badallow",
+        "pub fn f(v: Option<u8>) -> u8 {\n    // lint: allow(unwrap)\n    v.unwrap()\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:3: unwrap"), "{stdout}");
+    assert!(stdout.contains("lint-allow"), "{stdout}");
+}
+
+#[test]
+fn one_fixture_per_banned_pattern_all_reported_together() {
+    let dir = fixture_dir("all");
+    let cases = [
+        ("unwrap.rs", "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n", "unwrap"),
+        ("spawn.rs", "pub fn f() { std::thread::spawn(|| ()); }\n", "thread-spawn"),
+        ("floateq.rs", "pub fn f(x: f64) -> bool { x != 1.0 }\n", "float-eq"),
+        (
+            "event.rs",
+            "pub struct TickEvent {\n    pub t: f64,\n}\n",
+            "pub-event-field",
+        ),
+    ];
+    for (name, source, _) in &cases {
+        std::fs::write(dir.join(name), source).expect("write fixture");
+    }
+    let out = run_on(&[&dir]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    for (name, _, rule) in &cases {
+        assert!(
+            stdout.lines().any(|l| l.contains(name) && l.contains(rule)),
+            "missing {rule} finding for {name}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn test_code_and_justified_allows_are_clean() {
+    let dir = fixture_dir("clean");
+    let file = dir.join("fixture.rs");
+    std::fs::write(
+        &file,
+        concat!(
+            "pub fn f(v: Option<u8>) -> u8 {\n",
+            "    // lint: allow(unwrap) -- fixture invariant documented here\n",
+            "    v.unwrap()\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        assert_eq!(super::f(Some(3)), 3);\n",
+            "        let x: Option<u8> = Some(1);\n",
+            "        x.unwrap();\n",
+            "    }\n",
+            "}\n",
+        ),
+    )
+    .expect("write fixture");
+    let out = run_on(&[&file]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "unexpected findings:\n{stdout}");
+}
+
+/// The acceptance criterion for the whole PR: run with no arguments from
+/// the workspace root, the linter walks `crates/*/src` and reports the
+/// workspace clean.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = Command::new(lint_bin())
+        .current_dir(root)
+        .output()
+        .expect("spawn msa-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace has lint findings:\n{stdout}"
+    );
+}

@@ -30,6 +30,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let mask = self.mask.as_ref().expect("backward before forward");
         assert_eq!(mask.len(), grad_out.numel());
         let data = grad_out
@@ -71,6 +72,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let out = self.out.as_ref().expect("backward before forward");
         let mut g = grad_out.clone();
         // d tanh = 1 − tanh²
@@ -108,6 +110,7 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let out = self.out.as_ref().expect("backward before forward");
         let mut g = grad_out.clone();
         // d σ = σ(1 − σ)
@@ -143,6 +146,7 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // lint: allow(float-eq) -- p == 0.0 tests the exact "dropout disabled" sentinel
         if !train || self.p == 0.0 {
             self.mask = None;
             return input.clone();

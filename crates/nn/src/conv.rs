@@ -106,6 +106,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let (n, c, h, w) = (
             cache.in_shape[0],
@@ -253,6 +254,7 @@ impl Layer for Conv1d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.ndim(), 3);
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let cache = self.inner.cache.as_ref().expect("backward before forward");
         let (n, c, l) = (cache.in_shape[0], cache.in_shape[1], cache.in_shape[3]);
         let f = self.inner.out_channels;

@@ -46,6 +46,7 @@ impl Dense {
     fn flatten_input(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         let shape = input.shape();
         assert_eq!(
+            // lint: allow(unwrap) -- shape validation: scalar input is a caller bug worth a panic
             *shape.last().expect("dense input needs at least 1 axis"),
             self.in_dim,
             "last axis must equal in_dim"
@@ -72,6 +73,7 @@ impl Layer for Dense {
         let x = self
             .cache_x
             .as_ref()
+            // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
             .expect("backward called before forward");
         let rows = x.shape()[0];
         let g2 = grad_out.clone().reshape(&[rows, self.out_dim]);

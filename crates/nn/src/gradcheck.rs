@@ -58,8 +58,7 @@ pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, eps: f32, seed: u64) -> Gr
 
     // Numerical parameter gradients.
     let mut param_errs = Vec::new();
-    let n_params = layer.params().len();
-    for pi in 0..n_params {
+    for (pi, analytic) in analytic_param_grads.iter().enumerate() {
         let numel = layer.params()[pi].numel();
         // Check at most 24 entries per parameter (spread deterministically)
         let stride = (numel / 24).max(1);
@@ -71,7 +70,7 @@ pub fn check_layer(layer: &mut dyn Layer, x: &Tensor, eps: f32, seed: u64) -> Gr
             let lm = layer.forward(x, true).dot(&g);
             layer.params_mut()[pi].value.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            param_errs.push(rel_err(num, analytic_param_grads[pi][idx]));
+            param_errs.push(rel_err(num, analytic[idx]));
         }
     }
 

@@ -152,6 +152,7 @@ impl Layer for Gru {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let cache = self.cache.as_ref().expect("backward before forward");
         let (n, t) = (cache.n, cache.t);
         let h_dim = self.hidden;

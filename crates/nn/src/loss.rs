@@ -56,6 +56,7 @@ impl Loss for BceWithLogits {
             .zip(target.data())
             .zip(grad.data_mut())
         {
+            // lint: allow(float-eq) -- targets are exact 0/1 indicators by contract
             debug_assert!(y == 0.0 || y == 1.0, "targets must be 0/1");
             // loss = max(z,0) − z·y + ln(1 + e^{−|z|})
             loss += (z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln()) as f64;
@@ -103,6 +104,7 @@ impl MaskedMae {
             .zip(target.data().iter().zip(mask.data()))
             .zip(grad.data_mut())
         {
+            // lint: allow(float-eq) -- the mask is an exact 0/1 indicator, not arithmetic output
             if m != 0.0 {
                 let d = p - t;
                 loss += d.abs() as f64;

@@ -72,7 +72,7 @@ impl Layer for BatchNorm {
         let mut xhat = input.clone();
         let mut inv_stds = vec![0.0f32; c];
 
-        for ch in 0..c {
+        for (ch, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut sum = 0.0f64;
                 let mut sq = 0.0f64;
@@ -92,7 +92,7 @@ impl Layer for BatchNorm {
                 (self.running_mean[ch], self.running_var[ch])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.data()[ch];
             let b = self.beta.value.data()[ch];
             Self::for_channel(n, c, s, ch, |idx| {
@@ -118,6 +118,7 @@ impl Layer for BatchNorm {
         let cache = self
             .cache
             .as_ref()
+            // lint: allow(unwrap) -- layer API contract: backward requires a training-mode forward
             .expect("backward requires a training-mode forward");
         assert_eq!(grad_out.shape(), &cache.in_shape[..]);
         let (n, s) = self.layout(&cache.in_shape);

@@ -59,6 +59,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let (args, in_shape) = self.cache.as_ref().expect("backward before forward");
         let per_img: usize = in_shape[1..].iter().product();
         let n = in_shape[0];

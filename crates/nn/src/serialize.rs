@@ -40,6 +40,16 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Reads the fixed-size little-endian field starting at `at`, or reports
+/// the snapshot as truncated. Replaces the `try_into().unwrap()` pattern:
+/// a short slice becomes a typed error, not a panic.
+fn field<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], SnapshotError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(SnapshotError::Truncated)
+}
+
 fn checksum(bytes: &[u8]) -> u64 {
     // FNV-1a, good enough for corruption detection.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -76,17 +86,17 @@ pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), SnapshotError> {
     if &bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version = u32::from_le_bytes(field(bytes, 4)?);
     if version != VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let p_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-    let s_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let p_len = u64::from_le_bytes(field(bytes, 8)?) as usize;
+    let s_len = u64::from_le_bytes(field(bytes, 16)?) as usize;
     let body_end = 24 + 4 * (p_len + s_len);
     if bytes.len() != body_end + 8 {
         return Err(SnapshotError::Truncated);
     }
-    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    let stored = u64::from_le_bytes(field(bytes, body_end)?);
     if checksum(&bytes[..body_end]) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
@@ -105,9 +115,11 @@ pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), SnapshotError> {
         });
     }
 
-    let mut floats = bytes[24..body_end]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()));
+    let mut floats = bytes[24..body_end].chunks_exact(4).map(|c| {
+        let mut word = [0u8; 4];
+        word.copy_from_slice(c); // chunks_exact(4) guarantees the length
+        f32::from_le_bytes(word)
+    });
     let values: Vec<f32> = floats.by_ref().take(p_len).collect();
     let state: Vec<f32> = floats.collect();
     model.set_values(&values);

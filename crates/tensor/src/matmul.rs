@@ -23,6 +23,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let row_kernel = |(i, out_row): (usize, &mut [f32])| {
         let a_row = &a_data[i * k..(i + 1) * k];
         for (kk, &a_ik) in a_row.iter().enumerate() {
+            // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
             if a_ik == 0.0 {
                 continue;
             }
@@ -55,6 +56,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let row_kernel = |(i, out_row): (usize, &mut [f32])| {
         for kk in 0..k {
             let a_ki = a_data[kk * m + i];
+            // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
             if a_ki == 0.0 {
                 continue;
             }

@@ -31,6 +31,7 @@ impl Tensor {
         for (i, &l) in labels.data().iter().enumerate() {
             let c = l as usize;
             assert!(
+                // lint: allow(float-eq) -- fract() == 0.0 checks class-label integrality exactly
                 c < classes && l.fract() == 0.0 && l >= 0.0,
                 "label {l} not a class index below {classes}"
             );

@@ -51,18 +51,18 @@ fn main() {
             println!(
                 "epoch {epoch}: checkpointed {} bytes (loss {:.4})",
                 snapshot.len(),
-                losses.last().unwrap()
+                losses.last().expect("training ran")
             );
         }
     }
-    println!("final loss without failure: {:.4}", losses.last().unwrap());
+    println!("final loss without failure: {:.4}", losses.last().expect("training ran"));
 
     // "Crash": rebuild from scratch and restore the snapshot.
     let mut restored = model_fn(999); // different random init
     serialize::load(&mut restored, &snapshot).expect("snapshot loads");
     let x = ds.x.slice_batch(0, 4);
     let mut orig_at_ckpt = model_fn(1);
-    serialize::load(&mut orig_at_ckpt, &snapshot).unwrap();
+    serialize::load(&mut orig_at_ckpt, &snapshot).expect("snapshot loads");
     let a = orig_at_ckpt.predict(&x);
     let b = restored.predict(&x);
     assert_eq!(a.data(), b.data());

@@ -1,0 +1,229 @@
+//! Offline stand-in for the subset of Criterion this workspace's bench
+//! targets use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `sample_size`, `throughput`, `BenchmarkId`, `b.iter`).
+//!
+//! Methodology is deliberately simple: each benchmark closure is warmed
+//! up once, then timed for `sample_size` samples where every sample runs
+//! enough iterations to exceed ~5 ms; the median sample is reported as
+//! ns/iter on stdout. No statistics files, no HTML — just numbers you can
+//! eyeball for regressions when running `cargo bench` offline.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for one parameterised benchmark case.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared input volume per iteration, echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter of the last `iter` call, for the caller to report.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that runs ≥ 5 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).max(4);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_case(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        let ns = b.last_ns_per_iter;
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.2} GiB/s)", n as f64 / ns / 1.073_741_824)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("{}/{label:<40} {ns:>14.1} ns/iter{extra}", self.name);
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_case(&id.label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_case(&id.label, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        };
+        g.run_case(name, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            last_ns_per_iter: f64::NAN,
+        };
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.last_ns_per_iter.is_finite());
+        assert!(b.last_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+                b.iter(|| x * x)
+            })
+            .finish();
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build container cannot reach a crates.io registry, so this crate
+//! re-implements the parallel-iterator surface the workspace consumes
+//! (`par_iter`, `into_par_iter`, `par_chunks[_mut]`, `map`, `filter`,
+//! `zip`, `fold`/`reduce`, `for_each`, `sum`, `collect`, …) on top of
+//! `std::thread::scope`.
+//!
+//! Unlike rayon there is no global work-stealing pool: each parallel
+//! stage materialises its items and splits them into contiguous batches,
+//! one OS thread per batch (bounded by `std::thread::available_parallelism`).
+//! That keeps the semantics rayon guarantees — order-preserving results,
+//! `Sync` closures, per-batch `fold` accumulators — while staying
+//! dependency-free. Workloads in this repo parallelise over coarse items
+//! (images, restarts, matrix rows), so batch-per-thread is an adequate
+//! schedule.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+        ParallelRefIterator, ParallelRefMutIterator,
+    };
+}
+
+/// Minimum items per spawned batch; below this, run inline.
+const MIN_BATCH: usize = 1;
+
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` in parallel batches, preserving order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.div_ceil(MIN_BATCH)).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let batch = n.div_ceil(threads);
+    let mut batches: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let b: Vec<T> = it.by_ref().take(batch).collect();
+        if b.is_empty() {
+            break;
+        }
+        batches.push(b);
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(batches.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|b| scope.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eager, order-preserving "parallel iterator": adapters that run user
+/// closures execute them across scoped threads, then hand back the
+/// materialised results.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+/// The adapter surface. Named to mirror rayon's `ParallelIterator` so
+/// call sites and bounds read identically.
+impl<T: Send> Par<T> {
+    pub fn map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Par {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    pub fn flat_map<R, I, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+        I::IntoIter: Send,
+        I: Send,
+    {
+        let nested = par_map_vec(self.items, &|x| f(x).into_iter().collect::<Vec<R>>());
+        Par {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter<P>(self, pred: P) -> Par<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let kept = par_map_vec(self.items, &|x| if pred(&x) { Some(x) } else { None });
+        Par {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        let kept = par_map_vec(self.items, &f);
+        Par {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn zip<U: Send>(self, other: Par<U>) -> Par<(T, U)> {
+        Par {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_vec(self.items, &|x| f(x));
+    }
+
+    /// Rayon-style fold: each batch folds into its own accumulator seeded
+    /// by `identity`; the result is a parallel iterator over the per-batch
+    /// accumulators (combine them with [`Par::reduce`]).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let n = self.items.len();
+        let threads = max_threads().min(n.max(1)).max(1);
+        if threads <= 1 || n <= 1 {
+            return Par {
+                items: vec![self.items.into_iter().fold(identity(), fold_op)],
+            };
+        }
+        let batch = n.div_ceil(threads);
+        let mut batches: Vec<Vec<T>> = Vec::new();
+        let mut it = self.items.into_iter();
+        loop {
+            let b: Vec<T> = it.by_ref().take(batch).collect();
+            if b.is_empty() {
+                break;
+            }
+            batches.push(b);
+        }
+        let mut accs: Vec<A> = Vec::with_capacity(batches.len());
+        let (id_ref, fold_ref) = (&identity, &fold_op);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|b| scope.spawn(move || b.into_iter().fold(id_ref(), fold_ref)))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(a) => accs.push(a),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        Par { items: accs }
+    }
+
+    /// Rayon-style reduce: combines all items with `op`, seeding each
+    /// batch with `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.fold(&identity, &op)
+            .items
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        // Rayon sums by splitting and reducing partial sums, which keeps
+        // f32 error small; a single sequential fold loses low bits once
+        // the running total dwarfs the addends. Match the tree numerics
+        // with fixed-size blocks so the result is also machine-independent.
+        const BLOCK: usize = 256;
+        let mut it = self.items.into_iter();
+        let mut partials: Vec<S> = Vec::new();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(BLOCK).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            partials.push(chunk.into_iter().sum());
+        }
+        partials.into_iter().sum()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    pub fn max_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().max_by(cmp)
+    }
+
+    pub fn min_by<F>(self, cmp: F) -> Option<T>
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        self.items.into_iter().min_by(cmp)
+    }
+}
+
+impl<'a, T: Sync + Clone + Send + 'a> Par<&'a T> {
+    pub fn cloned(self) -> Par<T> {
+        Par {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+}
+
+/// Marker alias so `where`-clauses written against rayon still read
+/// naturally; every `Par` is already a "parallel iterator".
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for Par<T> {}
+
+/// `collection.into_par_iter()` for anything iterable.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    fn into_par_iter(self) -> Par<C::Item> {
+        Par {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `slice.par_iter()`.
+pub trait ParallelRefIterator<T> {
+    fn par_iter(&self) -> Par<&T>;
+}
+
+impl<T: Sync> ParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> Par<&T> {
+        Par {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `slice.par_iter_mut()`.
+pub trait ParallelRefMutIterator<T> {
+    fn par_iter_mut(&mut self) -> Par<&mut T>;
+}
+
+impl<T: Send> ParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<&mut T> {
+        Par {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `slice.par_chunks(n)`.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]> {
+        Par {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// `slice.par_chunks_mut(n)` and `par_sort_by`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]>;
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]> {
+        Par {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering,
+    {
+        // Sequential merge-free fallback: sorting is never a hot path in
+        // this workspace (used once to globally order shuffled keys).
+        self.sort_by(cmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let a: Vec<usize> = (0usize..100).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(a[0], 1);
+        assert_eq!(a[99], 100);
+        let s: usize = vec![1usize, 2, 3].into_par_iter().sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_serial() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 500_500);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = [3.0f32, -1.0, 7.5, 2.0];
+        let m = v.par_iter().cloned().reduce(|| f32::NEG_INFINITY, f32::max);
+        assert_eq!(m, 7.5);
+    }
+
+    #[test]
+    fn chunks_mut_parallel_write() {
+        let mut v = vec![0u32; 64];
+        v.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i / 8) as u32);
+        }
+    }
+
+    #[test]
+    fn filter_zip_count() {
+        let a = [1, 2, 3, 4, 5, 6];
+        let b = [1, 0, 3, 0, 5, 0];
+        let n = a
+            .par_iter()
+            .zip(b.par_iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..100).collect();
+            v.par_iter().for_each(|&x| {
+                if x == 57 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -65,7 +65,9 @@ fn covidnet_separates_three_classes_distributed() {
     };
     let tc = TrainConfig {
         workers: 2,
-        epochs: 8,
+        // 8 epochs left the small CNN at ~0.68 on some RNG streams;
+        // 12 converges comfortably past the 0.7 gate.
+        epochs: 12,
         batch_per_worker: 12,
         base_lr: 2e-3,
         lr_scaling: true,
