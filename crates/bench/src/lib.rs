@@ -129,6 +129,7 @@ pub fn e3_scaling() -> String {
             lr_scaling: true,
             warmup_epochs: 1,
             seed: 7,
+            checkpoint: None,
         };
         let rep = train_data_parallel(
             &tc,
@@ -367,6 +368,7 @@ pub fn e6_covidnet_generations() -> String {
         lr_scaling: true,
         warmup_epochs: 1,
         seed: 3,
+        checkpoint: None,
     };
     let rep = train_data_parallel(
         &tc,
@@ -532,7 +534,10 @@ pub fn e9_nam_staging() -> String {
         "nodes", "duplicate", "NAM-shared", "speedup", "WAN saved [GiB]"
     );
     for nodes in [1usize, 4, 16, 64, 256] {
-        let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5);
+        let Ok((dup, shared)) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5) else {
+            let _ = writeln!(out, "{:>7} dataset exceeds NAM capacity — skipped", nodes);
+            continue;
+        };
         let _ = writeln!(
             out,
             "{:>7} {:>16} {:>14} {:>9.1}x {:>16.0}",

@@ -17,10 +17,15 @@
 use msa_net::Communicator;
 
 /// Indices and values of the `k` largest-magnitude entries (indices
-/// ascending).
+/// ascending). Degenerate requests — `k == 0` or an empty gradient —
+/// yield an empty sparse vector rather than panicking: after clamping
+/// `k` to the gradient length there may be nothing to select, and
+/// `select_nth_unstable_by(k - 1, …)` must never see `k = 0` underflow.
 pub fn top_k(grad: &[f32], k: usize) -> (Vec<u32>, Vec<f32>) {
-    assert!(k >= 1, "k must be positive");
     let k = k.min(grad.len());
+    if k == 0 {
+        return (Vec::new(), Vec::new());
+    }
     // Select by magnitude via partial sort of indices.
     let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
     idx.select_nth_unstable_by(k - 1, |&a, &b| {
@@ -233,5 +238,19 @@ mod tests {
     #[should_panic(expected = "ratio must be in")]
     fn zero_ratio_rejected() {
         let _ = TopKCompressor::new(10, 0.0);
+    }
+
+    #[test]
+    fn degenerate_top_k_is_empty_not_a_panic() {
+        // An empty gradient clamps any k to zero entries…
+        let (idx, vals) = top_k(&[], 1);
+        assert!(idx.is_empty() && vals.is_empty());
+        let (idx, vals) = top_k(&[], 0);
+        assert!(idx.is_empty() && vals.is_empty());
+        // …and k = 0 on a non-empty gradient selects nothing.
+        let (idx, vals) = top_k(&[1.0, -2.0, 3.0], 0);
+        assert!(idx.is_empty() && vals.is_empty());
+        // densify of the empty selection is the zero vector.
+        assert_eq!(densify(3, &idx, &vals), vec![0.0; 3]);
     }
 }

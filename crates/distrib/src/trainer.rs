@@ -9,10 +9,26 @@
 //! Large-batch hygiene follows Goyal et al. (the recipe Sedona et al.
 //! use on JUWELS): the learning rate is scaled linearly with the number
 //! of workers and ramped up over warmup epochs.
+//!
+//! # Checkpoint/restart
+//!
+//! With a [`CheckpointPolicy`] armed, rank 0 snapshots the *full*
+//! training state every N steps — weights, batch-norm state, optimiser
+//! buffers and a [`TrainerProgress`] record (RNG stream positions,
+//! partial epoch statistics, LR schedule point) — into a version-2
+//! `nn::serialize` snapshot. [`train_data_parallel_faulted`] arms a
+//! deterministic [`FaultPlan`] ("kill rank r at step s"): synchronous
+//! SGD is all-or-nothing, so one dead rank aborts every rank at the same
+//! lock-step boundary and the run returns
+//! [`TrainOutcome::Interrupted`] carrying the last snapshot.
+//! [`resume_from_snapshot`] restarts from that snapshot and — by
+//! construction, asserted in `tests/checkpoint_resume.rs` — finishes
+//! **bit-identical** to the run that was never killed.
 
+use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
 use data::Dataset;
-use msa_net::{Communicator, ThreadComm};
-use nn::{Layer, Loss, Optimizer, Sequential};
+use msa_net::{Communicator, FaultPlan, RankKilled, ThreadComm};
+use nn::{serialize, u64_to_words, words_to_u64, Layer, Loss, Optimizer, Sequential};
 use std::time::Instant;
 use tensor::{Rng, Tensor};
 
@@ -33,6 +49,8 @@ pub struct TrainConfig {
     pub warmup_epochs: usize,
     /// Seed for weight init and shuffling.
     pub seed: u64,
+    /// Training-state snapshot policy (`None` disables checkpointing).
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for TrainConfig {
@@ -45,6 +63,7 @@ impl Default for TrainConfig {
             lr_scaling: true,
             warmup_epochs: 1,
             seed: 42,
+            checkpoint: None,
         }
     }
 }
@@ -67,8 +86,26 @@ pub struct TrainReport {
     pub final_params: Vec<f32>,
     /// Final non-trainable state (batch-norm running stats) of rank 0.
     pub final_state: Vec<f32>,
-    /// Steps each rank executed.
+    /// Steps each rank executed (including pre-resume steps).
     pub steps_per_rank: usize,
+    /// Checkpoints taken under the configured [`CheckpointPolicy`].
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// The most recent full training-state snapshot (rank 0's copy).
+    pub latest_snapshot: Option<Vec<u8>>,
+}
+
+/// How a (possibly fault-injected) run ended.
+#[derive(Debug, Clone)]
+pub enum TrainOutcome {
+    /// The run trained all epochs.
+    Completed(TrainReport),
+    /// An armed [`FaultPlan`] fired: every rank aborted at the same step
+    /// boundary. `snapshot` is the last checkpoint taken before the kill
+    /// (`None` if the fault beat the first checkpoint).
+    Interrupted {
+        failure: RankKilled,
+        snapshot: Option<Vec<u8>>,
+    },
 }
 
 /// Effective LR for `epoch` under scaling + warmup.
@@ -106,23 +143,149 @@ where
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
     L: Loss + Sync,
 {
+    match run_engine(cfg, dataset, &model_fn, &opt_fn, &loss, None, None) {
+        TrainOutcome::Completed(report) => report,
+        TrainOutcome::Interrupted { .. } => unreachable!("no fault armed"),
+    }
+}
+
+/// [`train_data_parallel`] with an optional armed [`FaultPlan`]. With a
+/// fault that fires before training ends the run returns
+/// [`TrainOutcome::Interrupted`]; hand its snapshot to
+/// [`resume_from_snapshot`] to finish the job.
+pub fn train_data_parallel_faulted<M, O, L>(
+    cfg: &TrainConfig,
+    dataset: &Dataset,
+    model_fn: M,
+    opt_fn: O,
+    loss: L,
+    fault: Option<FaultPlan>,
+) -> TrainOutcome
+where
+    M: Fn(u64) -> Sequential + Sync,
+    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
+    L: Loss + Sync,
+{
+    run_engine(cfg, dataset, &model_fn, &opt_fn, &loss, fault, None)
+}
+
+/// Restarts an interrupted run from a full training-state snapshot.
+///
+/// `cfg`, `dataset`, `model_fn`, `opt_fn` and `loss` must describe the
+/// same run that produced the snapshot: the worker count, seed and LR
+/// schedule point are validated bit-exactly ([`CheckpointError`]
+/// otherwise), and the RNG stream positions are re-checked per rank once
+/// the shuffle is re-drawn. A further `fault` may be armed to interrupt
+/// the resumed run again (its `at_step` counts *global* steps, like the
+/// snapshot's).
+pub fn resume_from_snapshot<M, O, L>(
+    cfg: &TrainConfig,
+    dataset: &Dataset,
+    model_fn: M,
+    opt_fn: O,
+    loss: L,
+    snapshot: &[u8],
+    fault: Option<FaultPlan>,
+) -> Result<TrainOutcome, CheckpointError>
+where
+    M: Fn(u64) -> Sequential + Sync,
+    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
+    L: Loss + Sync,
+{
+    let mut model = model_fn(cfg.seed);
+    let (opt_state, meta) = serialize::load_training(&mut model, snapshot)?;
+    let progress = TrainerProgress::decode(&meta)?;
+    if progress.workers as usize != cfg.workers {
+        return Err(CheckpointError::ConfigMismatch {
+            what: "workers",
+            snapshot: progress.workers as u64,
+            config: cfg.workers as u64,
+        });
+    }
+    if progress.seed != cfg.seed {
+        return Err(CheckpointError::ConfigMismatch {
+            what: "seed",
+            snapshot: progress.seed,
+            config: cfg.seed,
+        });
+    }
+    if progress.epoch as usize >= cfg.epochs {
+        return Err(CheckpointError::ConfigMismatch {
+            what: "epochs",
+            snapshot: progress.epoch,
+            config: cfg.epochs as u64,
+        });
+    }
+    // The resumed schedule must hit the snapshot's LR exactly, or the
+    // replayed steps would diverge from the original run.
+    let lr = effective_lr(cfg, progress.epoch as usize);
+    if lr.to_bits() != progress.lr_bits {
+        return Err(CheckpointError::ConfigMismatch {
+            what: "effective lr bits",
+            snapshot: progress.lr_bits as u64,
+            config: lr.to_bits() as u64,
+        });
+    }
+    let resume = ResumeState {
+        params: model.values_vec(),
+        state: model.state(),
+        opt_state,
+        progress,
+    };
+    Ok(run_engine(
+        cfg,
+        dataset,
+        &model_fn,
+        &opt_fn,
+        &loss,
+        fault,
+        Some(&resume),
+    ))
+}
+
+/// Decoded snapshot handed to every rank on resume.
+struct ResumeState {
+    params: Vec<f32>,
+    state: Vec<f32>,
+    opt_state: Vec<f32>,
+    progress: TrainerProgress,
+}
+
+fn run_engine<M, O, L>(
+    cfg: &TrainConfig,
+    dataset: &Dataset,
+    model_fn: &M,
+    opt_fn: &O,
+    loss: &L,
+    fault: Option<FaultPlan>,
+    resume: Option<&ResumeState>,
+) -> TrainOutcome
+where
+    M: Fn(u64) -> Sequential + Sync,
+    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
+    L: Loss + Sync,
+{
     assert!(cfg.workers >= 1);
     assert!(cfg.epochs >= 1);
     let start = Instant::now();
 
-    let results = ThreadComm::run(cfg.workers, |comm| {
-        train_rank(comm, cfg, dataset, &model_fn, &opt_fn, &loss)
+    let results = ThreadComm::run_with_fault(cfg.workers, fault, |comm| {
+        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
     // lint: allow(unwrap) -- ThreadComm::run returns one result per rank and workers >= 1
     let rank0 = results.into_iter().next().expect("at least one rank");
-    TrainReport {
-        wall_secs,
-        ..rank0
+    match rank0 {
+        Ok(mut report) => {
+            report.wall_secs = wall_secs;
+            TrainOutcome::Completed(report)
+        }
+        Err((failure, snapshot)) => TrainOutcome::Interrupted { failure, snapshot },
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn train_rank<M, O, L>(
     comm: &ThreadComm,
     cfg: &TrainConfig,
@@ -130,7 +293,8 @@ fn train_rank<M, O, L>(
     model_fn: &M,
     opt_fn: &O,
     loss: &L,
-) -> TrainReport
+    resume: Option<&ResumeState>,
+) -> Result<TrainReport, (RankKilled, Option<Vec<u8>>)>
 where
     M: Fn(u64) -> Sequential + Sync,
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
@@ -141,40 +305,84 @@ where
     let size = comm.size();
 
     // Identical init everywhere, then belt-and-braces broadcast from 0.
+    // On resume every rank loads the snapshot's weights instead, and the
+    // broadcast degenerates to an identity check.
     let mut model = model_fn(cfg.seed);
+    if let Some(r) = resume {
+        model.set_values(&r.params);
+        model.set_state(&r.state);
+    }
     let mut params = model.values_vec();
     comm.broadcast(&mut params, 0);
     model.set_values(&params);
 
-    let mut opt = opt_fn(effective_lr(cfg, 0));
+    let start_epoch = resume.map_or(0, |r| r.progress.epoch as usize);
+    let mut opt = opt_fn(effective_lr(cfg, start_epoch));
+    if let Some(r) = resume {
+        opt.load_state(&r.opt_state);
+    }
     let shard = dataset.shard(rank, size);
-    // Every rank must run the same number of steps per epoch or the
-    // collectives deadlock; take the global minimum batch count.
     let mut shuffle_rng = Rng::seed(cfg.seed ^ (0xD15C0 + rank as u64));
+    if let Some(r) = resume {
+        // Seek the shuffle stream to where the interrupted epoch drew its
+        // batches; the re-draw below then reproduces the same permutation.
+        shuffle_rng.set_word_pos(r.progress.rng_pos_start[rank]);
+    }
 
-    let mut epochs = Vec::with_capacity(cfg.epochs);
-    let mut steps_per_rank = 0usize;
+    let mut epochs: Vec<EpochStats> = resume.map_or_else(Vec::new, |r| {
+        r.progress
+            .history
+            .iter()
+            .enumerate()
+            .map(|(epoch, &(mean_loss, lr))| EpochStats {
+                epoch,
+                mean_loss,
+                lr,
+            })
+            .collect()
+    });
+    let mut steps_per_rank = resume.map_or(0, |r| r.progress.steps_done as usize);
+    let mut checkpoints: Vec<CheckpointRecord> = Vec::new();
+    let mut latest_snapshot: Option<Vec<u8>> = None;
 
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         let lr = effective_lr(cfg, epoch);
         opt.set_lr(lr);
+        let rng_pos_start = shuffle_rng.word_pos();
         let batches = shard.batches(cfg.batch_per_worker, &mut shuffle_rng);
-        // Agree on the common number of steps.
-        let mut nb = vec![batches.len() as f32];
-        comm.allreduce_sum(&mut nb);
+        let rng_pos_now = shuffle_rng.word_pos();
+        // Every rank must run the same number of steps per epoch or the
+        // collectives deadlock; agree on the global minimum batch count.
         let min_steps = {
-            let mut m = vec![batches.len() as f32];
-            // min via allreduce of negatives' max ≡ use allgather
-            let all = comm.allgather(&m);
-            m[0] = all
-                .iter()
-                .map(|v| v[0])
-                .fold(f32::INFINITY, f32::min);
-            m[0] as usize
+            let all = comm.allgather(&[batches.len() as f32]);
+            all.iter().map(|v| v[0]).fold(f32::INFINITY, f32::min) as usize
         };
 
-        let mut loss_sum = 0.0f64;
-        for (bx, by) in batches.into_iter().take(min_steps) {
+        // First resumed epoch: re-enter mid-epoch — skip the steps the
+        // snapshot already holds and restore the loss accumulator.
+        let (skip, mut loss_sum) = match resume {
+            Some(r) if epoch == start_epoch => {
+                assert_eq!(
+                    rng_pos_now, r.progress.rng_pos_now[rank],
+                    "rank {rank}: shuffle stream diverged on resume"
+                );
+                (
+                    r.progress.step_in_epoch as usize,
+                    f64::from_bits(r.progress.loss_sum_bits[rank]),
+                )
+            }
+            _ => (0, 0.0),
+        };
+        let mut step_in_epoch = skip;
+
+        for (bx, by) in batches.into_iter().take(min_steps).skip(skip) {
+            // A dead rank makes the next collective impossible for every
+            // rank; the armed fault therefore aborts all of them here, at
+            // the same lock-step boundary.
+            if let Err(killed) = comm.poll_fault(steps_per_rank as u64) {
+                return Err((killed, latest_snapshot));
+            }
+
             model.zero_grad();
             let pred = model.forward(&bx, true);
             let (l, grad) = loss.compute(&pred, &by);
@@ -188,6 +396,51 @@ where
             opt.step(&mut model.params_mut());
             loss_sum += l as f64;
             steps_per_rank += 1;
+            step_in_epoch += 1;
+
+            if let Some(policy) = &cfg.checkpoint {
+                if (steps_per_rank as u64).is_multiple_of(policy.every_steps) {
+                    // Gather per-rank progress (RNG positions + partial
+                    // loss sums) as f32 bit-patterns — exact transport,
+                    // same trick as the sparse-allreduce index encoding.
+                    let mut words = Vec::with_capacity(6);
+                    words.extend_from_slice(&u64_to_words(rng_pos_start));
+                    words.extend_from_slice(&u64_to_words(rng_pos_now));
+                    words.extend_from_slice(&u64_to_words(loss_sum.to_bits()));
+                    let gathered = comm.allgather(&words);
+                    if rank == 0 {
+                        let progress = TrainerProgress {
+                            workers: size as u32,
+                            seed: cfg.seed,
+                            epoch: epoch as u64,
+                            step_in_epoch: step_in_epoch as u64,
+                            steps_done: steps_per_rank as u64,
+                            lr_bits: lr.to_bits(),
+                            history: epochs.iter().map(|e| (e.mean_loss, e.lr)).collect(),
+                            rng_pos_start: gathered
+                                .iter()
+                                .map(|w| words_to_u64([w[0], w[1]]))
+                                .collect(),
+                            rng_pos_now: gathered
+                                .iter()
+                                .map(|w| words_to_u64([w[2], w[3]]))
+                                .collect(),
+                            loss_sum_bits: gathered
+                                .iter()
+                                .map(|w| words_to_u64([w[4], w[5]]))
+                                .collect(),
+                        };
+                        let snap = serialize::save_with(&model, &opt.state(), &progress.encode());
+                        checkpoints.push(CheckpointRecord {
+                            global_step: steps_per_rank as u64,
+                            epoch,
+                            bytes: snap.len() as u64,
+                            write_cost: policy.target.checkpoint_cost_bytes(snap.len() as u64),
+                        });
+                        latest_snapshot = Some(snap);
+                    }
+                }
+            }
         }
 
         // Average the epoch loss over ranks for reporting.
@@ -212,13 +465,15 @@ where
         );
     }
 
-    TrainReport {
+    Ok(TrainReport {
         epochs,
         wall_secs: 0.0, // stamped by the caller
         final_params: model.values_vec(),
         final_state: model.state(),
         steps_per_rank,
-    }
+        checkpoints,
+        latest_snapshot,
+    })
 }
 
 /// Evaluates a trained flat parameter vector: rebuilds the model, loads
@@ -308,6 +563,7 @@ mod tests {
         let acc = evaluate_classifier(|s| mlp(s, 8, 4), cfg.seed, &report, &test);
         assert!(acc > 0.9, "accuracy {acc}");
         assert!(report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss);
+        assert!(report.checkpoints.is_empty() && report.latest_snapshot.is_none());
     }
 
     #[test]
@@ -326,6 +582,7 @@ mod tests {
                 lr_scaling: true,
                 warmup_epochs: 1,
                 seed: 7,
+                checkpoint: None,
             };
             let report = train_data_parallel(
                 &cfg,
@@ -361,6 +618,7 @@ mod tests {
                 lr_scaling: false,
                 warmup_epochs: 0,
                 seed: 5,
+                checkpoint: None,
             };
             train_data_parallel(
                 &cfg,
@@ -428,6 +686,7 @@ mod tests {
             lr_scaling: true,
             warmup_epochs: 1,
             seed: 11,
+            checkpoint: None,
         };
         let report = train_data_parallel(
             &cfg,
@@ -442,5 +701,186 @@ mod tests {
             report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss,
             "loss should fall"
         );
+    }
+
+    #[test]
+    fn checkpoints_fire_on_schedule_with_real_sizes() {
+        let ds = toy_dataset(256, 8, 4, 13);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 3,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 13,
+            checkpoint: Some(CheckpointPolicy::every(4)),
+        };
+        let report = train_data_parallel(
+            &cfg,
+            &ds,
+            |s| mlp(s, 8, 4),
+            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+            SoftmaxCrossEntropy,
+        );
+        assert!(!report.checkpoints.is_empty());
+        for (i, c) in report.checkpoints.iter().enumerate() {
+            assert_eq!(c.global_step, 4 * (i as u64 + 1));
+            assert!(c.bytes > 0 && c.write_cost.as_secs() > 0.0);
+        }
+        let snap = report.latest_snapshot.as_ref().unwrap();
+        assert_eq!(snap.len() as u64, report.checkpoints.last().unwrap().bytes);
+        // The snapshot is a valid v2 container a fresh model can load.
+        let mut probe = mlp(cfg.seed, 8, 4);
+        let (opt_state, meta) = serialize::load_training(&mut probe, snap).unwrap();
+        assert!(!opt_state.is_empty(), "SGD momentum must be captured");
+        let progress = TrainerProgress::decode(&meta).unwrap();
+        assert_eq!(progress.workers, 2);
+        assert_eq!(progress.steps_done, report.checkpoints.last().unwrap().global_step);
+    }
+
+    #[test]
+    fn fault_before_first_checkpoint_interrupts_without_snapshot() {
+        let ds = toy_dataset(128, 8, 4, 17);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 2,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 17,
+            checkpoint: Some(CheckpointPolicy::every(100)),
+        };
+        let outcome = train_data_parallel_faulted(
+            &cfg,
+            &ds,
+            |s| mlp(s, 8, 4),
+            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+            SoftmaxCrossEntropy,
+            Some(FaultPlan { rank: 1, at_step: 2 }),
+        );
+        match outcome {
+            TrainOutcome::Interrupted { failure, snapshot } => {
+                assert_eq!(failure, RankKilled { rank: 1, at_step: 2 });
+                assert!(snapshot.is_none(), "no checkpoint could have been taken");
+            }
+            TrainOutcome::Completed(_) => panic!("fault at step 2 must interrupt the run"),
+        }
+    }
+
+    #[test]
+    fn unarmed_faulted_run_completes() {
+        let ds = toy_dataset(128, 8, 4, 19);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 2,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 19,
+            checkpoint: None,
+        };
+        let outcome = train_data_parallel_faulted(
+            &cfg,
+            &ds,
+            |s| mlp(s, 8, 4),
+            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+            SoftmaxCrossEntropy,
+            None,
+        );
+        assert!(matches!(outcome, TrainOutcome::Completed(_)));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configs() {
+        let ds = toy_dataset(256, 8, 4, 23);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 3,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 23,
+            checkpoint: Some(CheckpointPolicy::every(3)),
+        };
+        let opt_fn = |lr: f32| -> Box<dyn Optimizer> { Box::new(Sgd::new(lr, 0.9, 0.0)) };
+        let report = train_data_parallel(
+            &cfg,
+            &ds,
+            |s| mlp(s, 8, 4),
+            opt_fn,
+            SoftmaxCrossEntropy,
+        );
+        let snap = report.latest_snapshot.unwrap();
+
+        let wrong_workers = TrainConfig {
+            workers: 4,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            resume_from_snapshot(
+                &wrong_workers,
+                &ds,
+                |s| mlp(s, 8, 4),
+                opt_fn,
+                SoftmaxCrossEntropy,
+                &snap,
+                None
+            ),
+            Err(CheckpointError::ConfigMismatch { what: "workers", .. })
+        ));
+        let wrong_seed = TrainConfig {
+            seed: 99,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            resume_from_snapshot(
+                &wrong_seed,
+                &ds,
+                |s| mlp(s, 8, 4),
+                opt_fn,
+                SoftmaxCrossEntropy,
+                &snap,
+                None
+            ),
+            Err(CheckpointError::ConfigMismatch { what: "seed", .. })
+        ));
+        let wrong_lr = TrainConfig {
+            base_lr: 0.07,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            resume_from_snapshot(
+                &wrong_lr,
+                &ds,
+                |s| mlp(s, 8, 4),
+                opt_fn,
+                SoftmaxCrossEntropy,
+                &snap,
+                None
+            ),
+            Err(CheckpointError::ConfigMismatch {
+                what: "effective lr bits",
+                ..
+            })
+        ));
+        // A bare model snapshot (no trainer progress) is a typed error,
+        // not a resume.
+        let bare = serialize::save(&mlp(cfg.seed, 8, 4));
+        assert!(matches!(
+            resume_from_snapshot(
+                &cfg,
+                &ds,
+                |s| mlp(s, 8, 4),
+                opt_fn,
+                SoftmaxCrossEntropy,
+                &bare,
+                None
+            ),
+            Err(CheckpointError::BadProgress(_))
+        ));
     }
 }

@@ -26,4 +26,4 @@ pub use comm::{Communicator, PointToPoint};
 pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};
 pub use cost::{CollectiveAlgo, LinkParams};
 pub use fabric::{simulate as simulate_fabric, FatTree, Flow, FlowResult};
-pub use thread_comm::ThreadComm;
+pub use thread_comm::{FaultPlan, RankKilled, ThreadComm};

@@ -6,6 +6,40 @@
 use crate::comm::PointToPoint;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+/// Deterministic fault injection: "kill rank `rank` at step `at_step`".
+///
+/// Synchronous data-parallel training is all-or-nothing: when one rank
+/// dies, the next collective can never complete on any rank, and the job
+/// scheduler tears the whole job down. The injector models exactly that
+/// observable behaviour — every endpoint of the communicator reports the
+/// failure at the same step boundary (steps are in lock-step by
+/// construction), so the abort is deterministic and deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The rank that dies.
+    pub rank: usize,
+    /// The global step at which it dies (checked via
+    /// [`ThreadComm::poll_fault`]; fires for every `step >= at_step`).
+    pub at_step: u64,
+}
+
+/// The error surfaced on every rank when an armed [`FaultPlan`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKilled {
+    /// The rank that died.
+    pub rank: usize,
+    /// The step it died at.
+    pub at_step: u64,
+}
+
+impl std::fmt::Display for RankKilled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} killed at step {}", self.rank, self.at_step)
+    }
+}
+
+impl std::error::Error for RankKilled {}
+
 /// One endpoint of an `n`-way in-process communicator.
 ///
 /// Create the full set with [`ThreadComm::create`] and move each endpoint
@@ -36,12 +70,26 @@ pub struct ThreadComm {
     senders: Vec<Sender<Vec<f32>>>,
     /// `receivers[from]` drains the (from → self) channel.
     receivers: Vec<Receiver<Vec<f32>>>,
+    /// Armed fault, shared (by value) across all endpoints.
+    fault: Option<FaultPlan>,
 }
 
 impl ThreadComm {
     /// Builds `n` fully-connected endpoints. `n` must be ≥ 1.
     pub fn create(n: usize) -> Vec<ThreadComm> {
+        Self::create_with_fault(n, None)
+    }
+
+    /// Builds `n` endpoints with an optional armed [`FaultPlan`].
+    pub fn create_with_fault(n: usize, fault: Option<FaultPlan>) -> Vec<ThreadComm> {
         assert!(n >= 1, "communicator needs at least one rank");
+        if let Some(plan) = fault {
+            assert!(
+                plan.rank < n,
+                "fault plan kills rank {} of a {n}-way communicator",
+                plan.rank
+            );
+        }
         // One row of channels per *sender* i, transposing the receiver
         // ends as we go so that rank j ends up owning
         // `receivers[from] = row[from][j]` — no placeholder `Option`s.
@@ -64,6 +112,7 @@ impl ThreadComm {
                 size: n,
                 senders,
                 receivers,
+                fault,
             })
             .collect()
     }
@@ -76,7 +125,17 @@ impl ThreadComm {
         R: Send,
         F: Fn(&ThreadComm) -> R + Sync,
     {
-        let comms = ThreadComm::create(n);
+        Self::run_with_fault(n, None, f)
+    }
+
+    /// [`ThreadComm::run`] with an optional armed [`FaultPlan`]; the
+    /// closure observes the fault through [`ThreadComm::poll_fault`].
+    pub fn run_with_fault<R, F>(n: usize, fault: Option<FaultPlan>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::create_with_fault(n, fault);
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter()
@@ -87,6 +146,21 @@ impl ThreadComm {
                 .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         })
+    }
+
+    /// Checks the armed fault at a step boundary. Returns
+    /// `Err(RankKilled)` on **every** rank once `step` reaches the plan's
+    /// `at_step` — the synchronous-SGD failure model: one dead rank makes
+    /// the next collective impossible for everyone, so all ranks abort at
+    /// the same deterministic point instead of deadlocking in `recv`.
+    pub fn poll_fault(&self, step: u64) -> Result<(), RankKilled> {
+        match self.fault {
+            Some(plan) if step >= plan.at_step => Err(RankKilled {
+                rank: plan.rank,
+                at_step: plan.at_step,
+            }),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -262,6 +336,37 @@ mod tests {
             });
             assert!(out.into_iter().all(|b| b));
         }
+    }
+
+    #[test]
+    fn fault_fires_on_every_rank_at_the_same_step() {
+        let plan = FaultPlan { rank: 2, at_step: 5 };
+        let out = ThreadComm::run_with_fault(4, Some(plan), |c| {
+            for step in 0..10u64 {
+                if let Err(killed) = c.poll_fault(step) {
+                    assert_eq!(killed, RankKilled { rank: 2, at_step: 5 });
+                    return step;
+                }
+                // A real collective between fault checks: all ranks must
+                // stay in lock-step right up to the abort.
+                let mut buf = vec![1.0f32; 4];
+                c.allreduce_sum(&mut buf);
+            }
+            10
+        });
+        assert_eq!(out, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn unarmed_fault_never_fires() {
+        let out = ThreadComm::run(3, |c| (0..100u64).all(|s| c.poll_fault(s).is_ok()));
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan kills rank")]
+    fn out_of_range_fault_rank_rejected() {
+        let _ = ThreadComm::create_with_fault(2, Some(FaultPlan { rank: 2, at_step: 0 }));
     }
 
     #[test]

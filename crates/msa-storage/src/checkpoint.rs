@@ -52,6 +52,23 @@ impl CheckpointTarget {
     pub fn restart_cost(&self, state_gib: f64) -> SimTime {
         SimTime::from_secs(state_gib / self.read_bw_gbs)
     }
+
+    /// Time to write a checkpoint whose size is known in **bytes** —
+    /// the bridge from real `nn::serialize` snapshot sizes (as produced
+    /// by the `distrib` checkpoint subsystem) into the cost model.
+    pub fn checkpoint_cost_bytes(&self, bytes: u64) -> SimTime {
+        self.checkpoint_cost(bytes_to_gib(bytes))
+    }
+
+    /// Time to restore a checkpoint of `bytes` bytes.
+    pub fn restart_cost_bytes(&self, bytes: u64) -> SimTime {
+        self.restart_cost(bytes_to_gib(bytes))
+    }
+}
+
+/// Bytes → GiB, the unit the bandwidth model speaks.
+pub fn bytes_to_gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
 }
 
 /// Young–Daly first-order analysis for checkpoint cost `c` and mean time
@@ -141,10 +158,29 @@ pub fn simulate_failures(
                 checkpoints += 1;
             }
         } else {
-            // Failure mid-segment: lose the segment, pay restart.
+            // Failure mid-segment: lose the segment, then pay a restart
+            // that is itself fair game for the failure process — a node
+            // can die again while re-reading the checkpoint, so the next
+            // failure clock starts at the failure instant, not after the
+            // restart completes (which would bias overhead low at small
+            // MTBF).
             failures += 1;
-            wall = next_failure + r.as_secs();
+            wall = next_failure;
             next_failure = wall + exp_draw();
+            loop {
+                if wall + r.as_secs() <= next_failure {
+                    wall += r.as_secs(); // restart completes
+                    break;
+                }
+                // Struck again mid-restart: restart the restart.
+                failures += 1;
+                wall = next_failure;
+                next_failure = wall + exp_draw();
+                assert!(
+                    failures < 1_000_000,
+                    "failure storm: mtbf too small for this workload"
+                );
+            }
         }
         assert!(
             failures < 1_000_000,
@@ -262,6 +298,45 @@ mod tests {
             walls[1],
             walls[0]
         );
+    }
+
+    #[test]
+    fn restarts_are_interruptible() {
+        // Restart cost far above the MTBF: most restart attempts are
+        // themselves struck down, so the failure count must exceed the
+        // single work-segment failure an immune-restart model would
+        // record, and the wall clock must absorb the repeated attempts.
+        let rep = simulate_failures(
+            secs(1000.0),
+            secs(100.0),
+            secs(1.0),
+            secs(1000.0),
+            secs(500.0),
+            11,
+        );
+        assert!(
+            rep.failures > 2,
+            "restart should be interruptible: only {} failures",
+            rep.failures
+        );
+        assert!(rep.wall.as_secs() > 2000.0, "wall {} too short", rep.wall);
+    }
+
+    #[test]
+    fn byte_costs_match_gib_costs() {
+        let t = CheckpointTarget::nam();
+        let gib = 3.0;
+        let bytes = (gib * (1u64 << 30) as f64) as u64;
+        assert!(
+            (t.checkpoint_cost_bytes(bytes).as_secs() - t.checkpoint_cost(gib).as_secs()).abs()
+                < 1e-9
+        );
+        assert!(
+            (t.restart_cost_bytes(bytes).as_secs() - t.restart_cost(gib).as_secs()).abs() < 1e-9
+        );
+        // A real (small) model snapshot costs what its size implies.
+        let small = t.checkpoint_cost_bytes(1_048_576);
+        assert!(small.as_secs() > 0.0 && small.as_secs() < 1e-3);
     }
 
     #[test]

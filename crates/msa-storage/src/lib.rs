@@ -14,6 +14,8 @@ pub mod checkpoint;
 pub mod nam;
 pub mod pfs;
 
-pub use checkpoint::{simulate_failures, CheckpointTarget, FailureSimReport, YoungDaly};
-pub use nam::{ArchiveLink, Nam, StagingPlan, StagingStrategy};
+pub use checkpoint::{
+    bytes_to_gib, simulate_failures, CheckpointTarget, FailureSimReport, YoungDaly,
+};
+pub use nam::{ArchiveLink, Nam, StagingError, StagingPlan, StagingStrategy};
 pub use pfs::ParallelFs;

@@ -75,6 +75,35 @@ pub enum StagingStrategy {
     SharedViaNam,
 }
 
+/// Why a staging strategy cannot be executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StagingError {
+    /// The dataset does not fit in the NAM: a 10 TiB collection cannot be
+    /// shared out of a 1.5 TiB prototype, whatever the bandwidth math
+    /// says. Callers fall back to [`StagingStrategy::DuplicateDownloads`]
+    /// or shard the dataset.
+    CapacityExceeded {
+        dataset_gib: f64,
+        capacity_gib: f64,
+    },
+}
+
+impl std::fmt::Display for StagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagingError::CapacityExceeded {
+                dataset_gib,
+                capacity_gib,
+            } => write!(
+                f,
+                "dataset {dataset_gib} GiB exceeds NAM capacity {capacity_gib} GiB"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StagingError {}
+
 /// Cost of staging a dataset of `dataset_gib` to `nodes` consumers.
 #[derive(Debug, Clone)]
 pub struct StagingPlan {
@@ -86,7 +115,9 @@ pub struct StagingPlan {
 }
 
 impl StagingPlan {
-    /// Evaluates one strategy.
+    /// Evaluates one strategy. [`StagingStrategy::SharedViaNam`] fails
+    /// with [`StagingError::CapacityExceeded`] when the dataset cannot
+    /// fit in the NAM.
     pub fn evaluate(
         strategy: StagingStrategy,
         dataset_gib: f64,
@@ -94,43 +125,45 @@ impl StagingPlan {
         archive: &ArchiveLink,
         nam: &Nam,
         client_bw_gbs: f64,
-    ) -> StagingPlan {
+    ) -> Result<StagingPlan, StagingError> {
         assert!(nodes >= 1);
         let bytes = dataset_gib * 1024.0 * 1024.0 * 1024.0;
         match strategy {
-            StagingStrategy::DuplicateDownloads => StagingPlan {
+            StagingStrategy::DuplicateDownloads => Ok(StagingPlan {
                 strategy,
                 time: archive.download_time(bytes, nodes),
                 wan_traffic_gib: dataset_gib * nodes as f64,
-            },
+            }),
             StagingStrategy::SharedViaNam => {
-                assert!(
-                    dataset_gib <= nam.capacity_gib,
-                    "dataset {dataset_gib} GiB exceeds NAM capacity {}",
-                    nam.capacity_gib
-                );
+                if dataset_gib > nam.capacity_gib {
+                    return Err(StagingError::CapacityExceeded {
+                        dataset_gib,
+                        capacity_gib: nam.capacity_gib,
+                    });
+                }
                 // Download once into the NAM, then serve all consumers
                 // over the fabric.
                 let load = archive.download_time(bytes, 1);
                 let serve = nam.serve_time(bytes, nodes, client_bw_gbs);
-                StagingPlan {
+                Ok(StagingPlan {
                     strategy,
                     time: load + serve,
                     wan_traffic_gib: dataset_gib,
-                }
+                })
             }
         }
     }
 
-    /// Evaluates both strategies and returns `(duplicate, shared)`.
+    /// Evaluates both strategies and returns `(duplicate, shared)`;
+    /// fails if the shared path cannot hold the dataset.
     pub fn compare(
         dataset_gib: f64,
         nodes: usize,
         archive: &ArchiveLink,
         nam: &Nam,
         client_bw_gbs: f64,
-    ) -> (StagingPlan, StagingPlan) {
-        (
+    ) -> Result<(StagingPlan, StagingPlan), StagingError> {
+        Ok((
             StagingPlan::evaluate(
                 StagingStrategy::DuplicateDownloads,
                 dataset_gib,
@@ -138,7 +171,7 @@ impl StagingPlan {
                 archive,
                 nam,
                 client_bw_gbs,
-            ),
+            )?,
             StagingPlan::evaluate(
                 StagingStrategy::SharedViaNam,
                 dataset_gib,
@@ -146,8 +179,8 @@ impl StagingPlan {
                 archive,
                 nam,
                 client_bw_gbs,
-            ),
-        )
+            )?,
+        ))
     }
 }
 
@@ -159,7 +192,7 @@ mod tests {
     fn nam_sharing_wins_at_scale() {
         let archive = ArchiveLink::site_uplink();
         let nam = Nam::deep_prototype();
-        let (dup, shared) = StagingPlan::compare(100.0, 64, &archive, &nam, 12.5);
+        let (dup, shared) = StagingPlan::compare(100.0, 64, &archive, &nam, 12.5).unwrap();
         assert!(
             shared.time < dup.time / 4.0,
             "NAM should win clearly at 64 consumers: {} vs {}",
@@ -175,7 +208,7 @@ mod tests {
         // One consumer: no sharing benefit, the NAM hop is pure overhead.
         let archive = ArchiveLink::site_uplink();
         let nam = Nam::deep_prototype();
-        let (dup, shared) = StagingPlan::compare(50.0, 1, &archive, &nam, 12.5);
+        let (dup, shared) = StagingPlan::compare(50.0, 1, &archive, &nam, 12.5).unwrap();
         assert!(dup.time <= shared.time);
     }
 
@@ -184,7 +217,7 @@ mod tests {
         let archive = ArchiveLink::site_uplink();
         let nam = Nam::deep_prototype();
         let ratio = |nodes: usize| {
-            let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5);
+            let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5).unwrap();
             dup.time / shared.time
         };
         assert!(ratio(64) > ratio(16));
@@ -192,18 +225,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds NAM capacity")]
-    fn oversized_dataset_rejected() {
+    fn oversized_dataset_is_a_typed_error_not_a_fit() {
+        // 10 TiB into the 1.5 TiB DEEP prototype: must not "fit".
         let archive = ArchiveLink::site_uplink();
         let nam = Nam::deep_prototype();
-        let _ = StagingPlan::evaluate(
+        let err = StagingPlan::evaluate(
             StagingStrategy::SharedViaNam,
-            1e9,
+            10.0 * 1024.0,
+            4,
+            &archive,
+            &nam,
+            12.5,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            StagingError::CapacityExceeded {
+                dataset_gib: 10.0 * 1024.0,
+                capacity_gib: nam.capacity_gib,
+            }
+        );
+        // `compare` propagates the same error...
+        assert!(StagingPlan::compare(10.0 * 1024.0, 4, &archive, &nam, 12.5).is_err());
+        // ...while duplicate downloads don't involve the NAM at all.
+        let dup = StagingPlan::evaluate(
+            StagingStrategy::DuplicateDownloads,
+            10.0 * 1024.0,
             4,
             &archive,
             &nam,
             12.5,
         );
+        assert!(dup.is_ok());
+        // Exactly at capacity still fits.
+        let fit = StagingPlan::evaluate(
+            StagingStrategy::SharedViaNam,
+            nam.capacity_gib,
+            4,
+            &archive,
+            &nam,
+            12.5,
+        );
+        assert!(fit.is_ok());
     }
 
     #[test]

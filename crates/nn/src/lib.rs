@@ -42,6 +42,6 @@ pub use layer::{Layer, Residual, Sequential};
 pub use loss::{BceWithLogits, Loss, MaskedMae, Mse, SoftmaxCrossEntropy};
 pub use lstm::Lstm;
 pub use norm::BatchNorm;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{u64_to_words, words_to_u64, Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use pool::{AvgPool2d, GlobalAvgPool2d, MaxPool2d};

@@ -19,15 +19,82 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (for warmup / scaling schedules).
     fn set_lr(&mut self, lr: f32);
+
+    /// Serialises the optimiser's internal state (momentum buffers,
+    /// moments, step counters) as a flat `f32` vector. Non-float fields
+    /// (e.g. Adam's step counter `t`) are stored as raw bit patterns via
+    /// [`u64_to_words`], so the round trip through [`Optimizer::load_state`]
+    /// is bit-exact. An optimiser that has not stepped yet returns the
+    /// state it would resume from (empty for a fresh instance).
+    fn state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Optimizer::state`]. Must be called
+    /// before the first [`Optimizer::step`]; buffers are re-attached to
+    /// parameter shapes lazily on that step (the optimiser does not know
+    /// the shapes until then). An empty slice resets to fresh state.
+    fn load_state(&mut self, state: &[f32]) {
+        assert!(
+            state.is_empty(),
+            "this optimiser keeps no state; cannot restore {} scalars",
+            state.len()
+        );
+    }
+}
+
+/// Packs a `u64` into two `f32` bit patterns (little-endian word order)
+/// so integer state can ride inside float snapshot sections without
+/// rounding. The inverse is [`words_to_u64`].
+pub fn u64_to_words(x: u64) -> [f32; 2] {
+    [f32::from_bits(x as u32), f32::from_bits((x >> 32) as u32)]
+}
+
+/// Recovers a `u64` packed by [`u64_to_words`].
+pub fn words_to_u64(words: [f32; 2]) -> u64 {
+    (words[0].to_bits() as u64) | ((words[1].to_bits() as u64) << 32)
+}
+
+/// Flattens a set of same-ordered tensors into one vector.
+fn flatten(tensors: &[Tensor]) -> Vec<f32> {
+    let total: usize = tensors.iter().map(|t| t.numel()).sum();
+    let mut out = Vec::with_capacity(total);
+    for t in tensors {
+        out.extend_from_slice(t.data());
+    }
+    out
+}
+
+/// Scatters a flat vector back into same-ordered tensors; lengths must
+/// match exactly (shapes come from the live parameter set).
+fn unflatten_into(tensors: &mut [Tensor], flat: &[f32]) {
+    let mut off = 0;
+    for t in tensors.iter_mut() {
+        let n = t.numel();
+        assert!(
+            off + n <= flat.len(),
+            "optimiser state too short: need {} more scalars",
+            off + n - flat.len()
+        );
+        t.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+    assert_eq!(off, flat.len(), "optimiser state length mismatch");
 }
 
 /// Stochastic gradient descent with optional Nesterov-free momentum and
-/// decoupled weight decay.
+/// decoupled weight decay (SGDW, Loshchilov & Hutter): the decay term
+/// `lr·wd·w` is applied directly to the weights and never enters the
+/// momentum buffer, so decay strength does not compound through the
+/// velocity the way coupled L2 regularisation does.
 pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
     velocity: Vec<Tensor>,
+    /// State restored by `load_state` before the buffer shapes are known;
+    /// applied lazily on the first `step`.
+    pending_state: Option<Vec<f32>>,
 }
 
 impl Sgd {
@@ -39,6 +106,7 @@ impl Sgd {
             momentum,
             weight_decay,
             velocity: Vec::new(),
+            pending_state: None,
         }
     }
 }
@@ -47,14 +115,12 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            if let Some(flat) = self.pending_state.take() {
+                unflatten_into(&mut self.velocity, &flat);
+            }
         }
         assert_eq!(self.velocity.len(), params.len(), "param set changed");
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            if self.weight_decay > 0.0 {
-                let wd = self.weight_decay;
-                let val = p.value.clone();
-                p.grad.zip_inplace(&val, |g, w| g + wd * w);
-            }
             if self.momentum > 0.0 {
                 v.scale(self.momentum);
                 v.add_assign(&p.grad);
@@ -62,6 +128,12 @@ impl Optimizer for Sgd {
             } else {
                 let lr = self.lr;
                 p.value.zip_inplace(&p.grad, move |w, g| w - lr * g);
+            }
+            if self.weight_decay > 0.0 {
+                // Decoupled decay: shrink the weights outside the
+                // momentum path, after the gradient step.
+                let shrink = 1.0 - self.lr * self.weight_decay;
+                p.value.map_inplace(move |w| w * shrink);
             }
         }
     }
@@ -72,6 +144,25 @@ impl Optimizer for Sgd {
 
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state(&self) -> Vec<f32> {
+        if self.velocity.is_empty() {
+            return self.pending_state.clone().unwrap_or_default();
+        }
+        flatten(&self.velocity)
+    }
+
+    fn load_state(&mut self, state: &[f32]) {
+        assert!(
+            self.velocity.is_empty(),
+            "load_state must precede the first step"
+        );
+        self.pending_state = if state.is_empty() {
+            None
+        } else {
+            Some(state.to_vec())
+        };
     }
 }
 
@@ -84,6 +175,9 @@ pub struct Adam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    /// Moments restored by `load_state` before the buffer shapes are
+    /// known (first half `m`, second half `v`); applied on first `step`.
+    pending_state: Option<Vec<f32>>,
 }
 
 impl Adam {
@@ -102,6 +196,7 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+            pending_state: None,
         }
     }
 }
@@ -111,6 +206,12 @@ impl Optimizer for Adam {
         if self.m.is_empty() {
             self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
             self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            if let Some(flat) = self.pending_state.take() {
+                assert_eq!(flat.len() % 2, 0, "Adam state must hold m and v halves");
+                let half = flat.len() / 2;
+                unflatten_into(&mut self.m, &flat[..half]);
+                unflatten_into(&mut self.v, &flat[half..]);
+            }
         }
         assert_eq!(self.m.len(), params.len(), "param set changed");
         self.t += 1;
@@ -141,6 +242,36 @@ impl Optimizer for Adam {
 
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state(&self) -> Vec<f32> {
+        // Layout: [t (2 bit-pattern words)] ++ m ++ v.
+        let mut out = u64_to_words(self.t).to_vec();
+        if self.m.is_empty() {
+            if let Some(pending) = &self.pending_state {
+                out.extend_from_slice(pending);
+            }
+        } else {
+            out.extend(flatten(&self.m));
+            out.extend(flatten(&self.v));
+        }
+        out
+    }
+
+    fn load_state(&mut self, state: &[f32]) {
+        assert!(self.m.is_empty(), "load_state must precede the first step");
+        if state.is_empty() {
+            self.t = 0;
+            self.pending_state = None;
+            return;
+        }
+        assert!(state.len() >= 2, "Adam state missing step counter");
+        self.t = words_to_u64([state[0], state[1]]);
+        self.pending_state = if state.len() > 2 {
+            Some(state[2..].to_vec())
+        } else {
+            None
+        };
     }
 }
 
@@ -202,6 +333,125 @@ mod tests {
         p.grad.data_mut()[0] = 1.0;
         opt.step(&mut [&mut p]);
         assert!((p.value.data()[0] + 0.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_decay_is_decoupled_from_momentum() {
+        // Decoupled (SGDW): the decay never enters the velocity buffer.
+        // Replay both the decoupled and the coupled-L2 recurrences by
+        // hand and check the optimiser follows the former, not the
+        // latter (they diverge from step 2 once momentum has memory).
+        let (lr, mu, wd) = (0.1f32, 0.9f32, 0.5f32);
+        let grad = 1.0f32;
+        let mut opt = Sgd::new(lr, mu, wd);
+        let mut p = Param::new(Tensor::full(&[1], 2.0));
+
+        let mut w_dec = 2.0f32; // decoupled reference
+        let mut v_dec = 0.0f32;
+        let mut w_cpl = 2.0f32; // coupled-L2 reference
+        let mut v_cpl = 0.0f32;
+        for _ in 0..5 {
+            p.grad.data_mut()[0] = grad;
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+
+            v_dec = mu * v_dec + grad;
+            w_dec += -lr * v_dec;
+            w_dec *= 1.0 - lr * wd;
+
+            v_cpl = mu * v_cpl + (grad + wd * w_cpl);
+            w_cpl += -lr * v_cpl;
+        }
+        let w = p.value.data()[0];
+        assert_eq!(w, w_dec, "optimiser should follow the decoupled path");
+        assert!(
+            (w - w_cpl).abs() > 1e-3,
+            "decoupled and coupled-L2 must be distinguishable: {w} vs {w_cpl}"
+        );
+    }
+
+    #[test]
+    fn decay_without_gradient_leaves_velocity_untouched() {
+        // Pure decay under momentum: the weights shrink geometrically and
+        // the velocity (= the whole optimiser state) stays zero.
+        let mut opt = Sgd::new(0.1, 0.9, 0.5);
+        let mut p = Param::new(Tensor::full(&[1], 8.0));
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.step(&mut [&mut p]);
+        }
+        let mut expected = 8.0f32;
+        for _ in 0..10 {
+            expected *= 1.0 - 0.1 * 0.5;
+        }
+        assert_eq!(p.value.data()[0], expected);
+        assert!(opt.state().iter().all(|&v| v == 0.0), "velocity polluted");
+    }
+
+    #[test]
+    fn u64_word_packing_roundtrips() {
+        for x in [0u64, 1, 42, u32::MAX as u64, u64::MAX, 0xDEAD_BEEF_0BAD_F00D] {
+            assert_eq!(words_to_u64(u64_to_words(x)), x);
+        }
+    }
+
+    /// Take `a` steps, snapshot, take `b` more; then rebuild from the
+    /// snapshot and take the same `b` steps — trajectories must match
+    /// bit for bit.
+    fn assert_resume_bit_exact(mut make: impl FnMut() -> Box<dyn Optimizer>, a: usize, b: usize) {
+        let grad_at = |w: f32| 2.0 * (w - 3.0) + 0.25 * w.sin();
+        let mut opt = make();
+        let mut p = Param::new(Tensor::full(&[3], 5.0));
+        for _ in 0..a {
+            let vals: Vec<f32> = p.value.data().iter().map(|&w| grad_at(w)).collect();
+            p.grad.data_mut().copy_from_slice(&vals);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        let snap_state = opt.state();
+        let snap_w = p.value.data().to_vec();
+        for _ in 0..b {
+            let vals: Vec<f32> = p.value.data().iter().map(|&w| grad_at(w)).collect();
+            p.grad.data_mut().copy_from_slice(&vals);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        let direct = p.value.data().to_vec();
+
+        let mut resumed = make();
+        resumed.load_state(&snap_state);
+        let mut q = Param::new(Tensor::from_vec(snap_w, &[3]));
+        for _ in 0..b {
+            let vals: Vec<f32> = q.value.data().iter().map(|&w| grad_at(w)).collect();
+            q.grad.data_mut().copy_from_slice(&vals);
+            resumed.step(&mut [&mut q]);
+            q.zero_grad();
+        }
+        assert_eq!(q.value.data(), &direct[..], "resumed run diverged");
+        assert_eq!(resumed.state(), opt.state(), "optimiser state diverged");
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_is_bit_exact() {
+        assert_resume_bit_exact(|| Box::new(Sgd::new(0.05, 0.9, 0.01)), 7, 9);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_exact() {
+        // Includes the step counter `t`: bias correction depends on it,
+        // so a dropped `t` would show up as a different trajectory.
+        assert_resume_bit_exact(|| Box::new(Adam::new(0.05)), 7, 9);
+    }
+
+    #[test]
+    fn state_before_first_step_roundtrips() {
+        let opt = Adam::new(0.1);
+        let s = opt.state();
+        let mut opt2 = Adam::new(0.1);
+        opt2.load_state(&s);
+        assert_eq!(opt2.state(), s);
+        let sgd = Sgd::new(0.1, 0.9, 0.0);
+        assert!(sgd.state().is_empty());
     }
 
     #[test]

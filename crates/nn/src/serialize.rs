@@ -4,17 +4,37 @@
 //! the checkpoint/restart experiments and the "transfer the model to the
 //! inference module" workflow.
 //!
-//! Format (all little-endian):
-//! `b"MSNN"` · u32 version · u64 param_len · u64 state_len ·
-//! param_len×f32 · state_len×f32 · u64 fletcher-style checksum.
+//! Two on-disk versions share the `b"MSNN"` magic:
+//!
+//! * **v1** (legacy, read-only): `magic · u32 version · u64 param_len ·
+//!   u64 state_len · param_len×f32 · state_len×f32 · u64 checksum`.
+//!   Model weights and batch-norm stats only — restoring mid-training
+//!   from a v1 snapshot silently reset the optimiser, which is exactly
+//!   the bug v2 fixes.
+//! * **v2** (current): `magic · u32 version · u64 param_len ·
+//!   u64 state_len · u64 opt_len · u64 meta_len · param_len×f32 ·
+//!   state_len×f32 · opt_len×f32 · meta_len bytes · u64 checksum`.
+//!   Adds an optimiser-state section ([`crate::Optimizer::state`]) and an
+//!   opaque metadata section for trainer progress (epoch, step, RNG
+//!   stream positions, LR schedule point — encoded by
+//!   `distrib::checkpoint`). [`load`] reads both versions; [`save`]
+//!   always writes v2.
+//!
+//! All integers little-endian; the trailing checksum (FNV-1a over every
+//! preceding byte) turns single-bit corruption anywhere into a typed
+//! [`SnapshotError`], never a panic.
 
 use crate::layer::{Layer as _, Sequential};
 
 const MAGIC: &[u8; 4] = b"MSNN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Fixed header size of a v1 snapshot (magic + version + two lengths).
+const V1_HEADER: usize = 24;
+/// Fixed header size of a v2 snapshot (magic + version + four lengths).
+const V2_HEADER: usize = 40;
 
 /// Serialisation errors.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotError {
     BadMagic,
     UnsupportedVersion(u32),
@@ -22,6 +42,9 @@ pub enum SnapshotError {
     ChecksumMismatch,
     /// Snapshot shape does not match the target model.
     ShapeMismatch { expected: usize, found: usize },
+    /// The snapshot carries no optimiser/progress sections (a v1 model
+    /// snapshot), so a training-state restore is impossible.
+    NotATrainingSnapshot,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -33,6 +56,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::ChecksumMismatch => write!(f, "checksum mismatch"),
             SnapshotError::ShapeMismatch { expected, found } => {
                 write!(f, "model expects {expected} scalars, snapshot has {found}")
+            }
+            SnapshotError::NotATrainingSnapshot => {
+                write!(f, "snapshot has no optimiser/progress sections (v1 model-only)")
             }
         }
     }
@@ -60,71 +86,156 @@ fn checksum(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialises the model's values + state.
+/// Serialises the model's values + state (no optimiser/progress
+/// sections): a v2 snapshot with empty training sections.
 pub fn save(model: &Sequential) -> Vec<u8> {
+    save_with(model, &[], &[])
+}
+
+/// Serialises a full training-state snapshot: model values + state, the
+/// optimiser's flat state vector ([`crate::Optimizer::state`]) and an
+/// opaque `meta` blob (trainer progress, encoded by the caller).
+pub fn save_with(model: &Sequential, opt_state: &[f32], meta: &[u8]) -> Vec<u8> {
     let values = model.values_vec();
     let state = model.state();
-    let mut out = Vec::with_capacity(24 + 4 * (values.len() + state.len()) + 8);
+    let floats = values.len() + state.len() + opt_state.len();
+    let mut out = Vec::with_capacity(V2_HEADER + 4 * floats + meta.len() + 8);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(values.len() as u64).to_le_bytes());
     out.extend_from_slice(&(state.len() as u64).to_le_bytes());
-    for v in values.iter().chain(&state) {
+    out.extend_from_slice(&(opt_state.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+    for v in values.iter().chain(&state).chain(opt_state) {
         out.extend_from_slice(&v.to_le_bytes());
     }
+    out.extend_from_slice(meta);
     let sum = checksum(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
 }
 
-/// Restores values + state into `model` (which must have the same
-/// architecture the snapshot was taken from).
-pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), SnapshotError> {
-    if bytes.len() < 28 {
+/// Parsed section bounds of a validated snapshot.
+struct Sections {
+    p_len: usize,
+    s_len: usize,
+    opt_len: usize,
+    meta_len: usize,
+    /// Byte offset where the float body starts.
+    body: usize,
+    version: u32,
+}
+
+/// Validates magic, version, lengths and checksum; returns the section
+/// layout. Shape checks against a concrete model happen in the callers.
+fn parse(bytes: &[u8]) -> Result<Sections, SnapshotError> {
+    if bytes.len() < 8 {
         return Err(SnapshotError::Truncated);
     }
     if &bytes[..4] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
     let version = u32::from_le_bytes(field(bytes, 4)?);
-    if version != VERSION {
-        return Err(SnapshotError::UnsupportedVersion(version));
-    }
+    let (header, opt_len, meta_len) = match version {
+        1 => (V1_HEADER, 0usize, 0usize),
+        2 => (
+            V2_HEADER,
+            u64::from_le_bytes(field(bytes, 24)?) as usize,
+            u64::from_le_bytes(field(bytes, 32)?) as usize,
+        ),
+        v => return Err(SnapshotError::UnsupportedVersion(v)),
+    };
     let p_len = u64::from_le_bytes(field(bytes, 8)?) as usize;
     let s_len = u64::from_le_bytes(field(bytes, 16)?) as usize;
-    let body_end = 24 + 4 * (p_len + s_len);
-    if bytes.len() != body_end + 8 {
+    // Checked arithmetic: a corrupted length field must surface as
+    // `Truncated`, not wrap around and alias a different layout.
+    let floats = p_len
+        .checked_add(s_len)
+        .and_then(|n| n.checked_add(opt_len))
+        .ok_or(SnapshotError::Truncated)?;
+    let body_end = floats
+        .checked_mul(4)
+        .and_then(|n| n.checked_add(header))
+        .and_then(|n| n.checked_add(meta_len))
+        .ok_or(SnapshotError::Truncated)?;
+    if bytes.len() != body_end.checked_add(8).ok_or(SnapshotError::Truncated)? {
         return Err(SnapshotError::Truncated);
     }
     let stored = u64::from_le_bytes(field(bytes, body_end)?);
     if checksum(&bytes[..body_end]) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
+    Ok(Sections {
+        p_len,
+        s_len,
+        opt_len,
+        meta_len,
+        body: header,
+        version,
+    })
+}
 
+/// Decodes `n` little-endian `f32`s starting at byte offset `at`.
+fn floats_at(bytes: &[u8], at: usize, n: usize) -> Vec<f32> {
+    bytes[at..at + 4 * n]
+        .chunks_exact(4)
+        .map(|c| {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(c); // chunks_exact(4) guarantees the length
+            f32::from_le_bytes(word)
+        })
+        .collect()
+}
+
+/// Restores values + state into `model` (which must have the same
+/// architecture the snapshot was taken from). Accepts v1 and v2
+/// snapshots; any training sections of a v2 snapshot are ignored — use
+/// [`load_training`] to recover them.
+pub fn load(model: &mut Sequential, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let _ = restore_model(model, bytes)?;
+    Ok(())
+}
+
+/// Restores the model **and** returns the training sections
+/// `(optimizer_state, progress_meta)` of a v2 snapshot. A v1 (model-only)
+/// snapshot restores the model but yields
+/// [`SnapshotError::NotATrainingSnapshot`], since resuming training from
+/// it would silently reset the optimiser.
+pub fn load_training(
+    model: &mut Sequential,
+    bytes: &[u8],
+) -> Result<(Vec<f32>, Vec<u8>), SnapshotError> {
+    let sections = restore_model(model, bytes)?;
+    if sections.version < 2 {
+        return Err(SnapshotError::NotATrainingSnapshot);
+    }
+    let opt_at = sections.body + 4 * (sections.p_len + sections.s_len);
+    let opt_state = floats_at(bytes, opt_at, sections.opt_len);
+    let meta_at = opt_at + 4 * sections.opt_len;
+    let meta = bytes[meta_at..meta_at + sections.meta_len].to_vec();
+    Ok((opt_state, meta))
+}
+
+fn restore_model(model: &mut Sequential, bytes: &[u8]) -> Result<Sections, SnapshotError> {
+    let sections = parse(bytes)?;
     let expected = model.param_count();
-    if p_len != expected {
+    if sections.p_len != expected {
         return Err(SnapshotError::ShapeMismatch {
             expected,
-            found: p_len,
+            found: sections.p_len,
         });
     }
-    if s_len != model.state_len() {
+    if sections.s_len != model.state_len() {
         return Err(SnapshotError::ShapeMismatch {
             expected: model.state_len(),
-            found: s_len,
+            found: sections.s_len,
         });
     }
-
-    let mut floats = bytes[24..body_end].chunks_exact(4).map(|c| {
-        let mut word = [0u8; 4];
-        word.copy_from_slice(c); // chunks_exact(4) guarantees the length
-        f32::from_le_bytes(word)
-    });
-    let values: Vec<f32> = floats.by_ref().take(p_len).collect();
-    let state: Vec<f32> = floats.collect();
+    let values = floats_at(bytes, sections.body, sections.p_len);
+    let state = floats_at(bytes, sections.body + 4 * sections.p_len, sections.s_len);
     model.set_values(&values);
     model.set_state(&state);
-    Ok(())
+    Ok(sections)
 }
 
 /// Saves to a file.
@@ -144,6 +255,7 @@ mod tests {
     use crate::dense::Dense;
     use crate::layer::Layer;
     use crate::norm::BatchNorm;
+    use crate::optim::{Adam, Optimizer};
     use crate::Relu;
     use tensor::{Rng, Tensor};
 
@@ -154,6 +266,24 @@ mod tests {
             .push(BatchNorm::new(8))
             .push(Relu::new())
             .push(Dense::new(8, 2, &mut rng))
+    }
+
+    /// Hand-writes a v1 snapshot of `model` (the legacy format the
+    /// reader must keep accepting).
+    fn save_v1(model: &Sequential) -> Vec<u8> {
+        let values = model.values_vec();
+        let state = model.state();
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+        for v in values.iter().chain(&state) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let sum = checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
     }
 
     #[test]
@@ -176,6 +306,49 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_still_load() {
+        let mut rng = Rng::seed(9);
+        let mut m = model(1);
+        for _ in 0..3 {
+            let x = rng.normal_tensor(&[8, 4], 1.0);
+            let _ = m.forward(&x, true);
+        }
+        let bytes = save_v1(&m);
+        let mut restored = model(5);
+        load(&mut restored, &bytes).unwrap();
+        let x = rng.normal_tensor(&[2, 4], 1.0);
+        assert_eq!(m.predict(&x).data(), restored.predict(&x).data());
+        // ...but they are not training snapshots.
+        let mut target = model(6);
+        assert_eq!(
+            load_training(&mut target, &bytes),
+            Err(SnapshotError::NotATrainingSnapshot)
+        );
+    }
+
+    #[test]
+    fn training_sections_roundtrip() {
+        let mut rng = Rng::seed(3);
+        let mut m = model(1);
+        let mut opt = Adam::new(1e-3);
+        for _ in 0..4 {
+            let x = rng.normal_tensor(&[6, 4], 1.0);
+            m.zero_grad();
+            let y = m.forward(&x, true);
+            m.backward(&y);
+            opt.step(&mut m.params_mut());
+        }
+        let meta = b"epoch=3;step=17".to_vec();
+        let bytes = save_with(&m, &opt.state(), &meta);
+        let mut restored = model(9);
+        let (opt_state, meta_back) = load_training(&mut restored, &bytes).unwrap();
+        assert_eq!(opt_state, opt.state());
+        assert_eq!(meta_back, meta);
+        assert_eq!(restored.values_vec(), m.values_vec());
+        assert_eq!(restored.state(), m.state());
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let m = model(1);
         let mut bytes = save(&m);
@@ -183,6 +356,61 @@ mod tests {
         bytes[mid] ^= 0xFF;
         let mut target = model(1);
         assert_eq!(load(&mut target, &bytes), Err(SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn single_bit_flips_yield_typed_errors() {
+        let m = model(1);
+        let clean = save(&m);
+        let flip = |at: usize, bit: u8| {
+            let mut b = clean.clone();
+            b[at] ^= 1 << bit;
+            let mut target = model(1);
+            load(&mut target, &b)
+        };
+        // Magic: any flipped bit breaks the tag before anything else.
+        assert_eq!(flip(0, 0), Err(SnapshotError::BadMagic));
+        assert_eq!(flip(3, 7), Err(SnapshotError::BadMagic));
+        // Version field: 2 ^ 1 = 3 and 2 ^ 4 = 6 are unknown versions.
+        assert_eq!(flip(4, 0), Err(SnapshotError::UnsupportedVersion(3)));
+        assert_eq!(flip(4, 2), Err(SnapshotError::UnsupportedVersion(6)));
+        // Length fields: the section sum no longer matches the byte count
+        // (including high bits, which must not overflow the arithmetic).
+        for at in [8usize, 16, 24, 32] {
+            for bit in [0u8, 5] {
+                assert_eq!(flip(at, bit), Err(SnapshotError::Truncated), "byte {at}");
+            }
+            assert_eq!(flip(at + 7, 7), Err(SnapshotError::Truncated), "byte {at}+7");
+        }
+        // Payload (first float of the body) and trailing checksum.
+        assert_eq!(flip(V2_HEADER, 3), Err(SnapshotError::ChecksumMismatch));
+        let last = clean.len() - 1;
+        assert_eq!(flip(last, 6), Err(SnapshotError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn v2_training_snapshot_into_wrong_model_is_shape_mismatch() {
+        // A full training snapshot (with optimiser + meta sections)
+        // loaded into a smaller "v1-shaped" model must fail cleanly.
+        let mut m = model(1);
+        let mut opt = Adam::new(1e-3);
+        let x = Tensor::ones(&[2, 4]);
+        m.zero_grad();
+        let y = m.forward(&x, true);
+        m.backward(&y);
+        opt.step(&mut m.params_mut());
+        let bytes = save_with(&m, &opt.state(), b"progress");
+
+        let mut rng = Rng::seed(3);
+        let mut small = Sequential::new().push(Dense::new(2, 2, &mut rng));
+        match load(&mut small, &bytes) {
+            Err(SnapshotError::ShapeMismatch { .. }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        match load_training(&mut small, &bytes) {
+            Err(SnapshotError::ShapeMismatch { .. }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
     }
 
     #[test]

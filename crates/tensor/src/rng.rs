@@ -22,6 +22,21 @@ impl Rng {
         }
     }
 
+    /// Absolute keystream position in 32-bit words (within the current
+    /// stream). Together with the seed this fully identifies the
+    /// generator state; checkpoints persist it so a resumed run replays
+    /// the exact shuffling sequence.
+    pub fn word_pos(&self) -> u64 {
+        self.inner.word_pos()
+    }
+
+    /// Seeks to an absolute keystream word position, the inverse of
+    /// [`Rng::word_pos`]. Seeking a same-seeded generator reproduces the
+    /// stream bit-exactly from that point.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.inner.set_word_pos(pos);
+    }
+
     /// Derives an independent stream (e.g. one per data-parallel worker).
     pub fn fork(&mut self, stream: u64) -> Rng {
         let mut r = ChaCha8Rng::seed_from_u64(self.inner.gen::<u64>() ^ stream);
@@ -132,6 +147,23 @@ mod tests {
             let x = r.uniform(-2.0, 5.0);
             assert!((-2.0..5.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn word_pos_roundtrip_resumes_permutations() {
+        // Draw a few permutations, snapshot the position, draw one more;
+        // a fresh generator seeked to the snapshot must reproduce it.
+        let mut r = Rng::seed(77);
+        for _ in 0..3 {
+            let _ = r.permutation(13);
+        }
+        let pos = r.word_pos();
+        let expected = r.permutation(13);
+        let mut resumed = Rng::seed(77);
+        resumed.set_word_pos(pos);
+        assert_eq!(resumed.word_pos(), pos);
+        assert_eq!(resumed.permutation(13), expected);
+        assert_eq!(resumed.word_pos(), r.word_pos());
     }
 
     #[test]

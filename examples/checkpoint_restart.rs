@@ -1,23 +1,37 @@
-//! Checkpoint/restart of a training job over the storage hierarchy.
+//! Checkpoint/restart of a data-parallel training job, end to end.
 //!
-//! Combines three subsystems: a real model snapshot (`nn::serialize`,
-//! verified bit-exact through a save/load cycle), the Young–Daly
-//! checkpoint-interval analysis, and the failure-injection simulator
-//! comparing the NAM against the parallel file system — the NAM's
-//! original raison d'être ([12]).
+//! Demonstrates the full fault-tolerance story across three subsystems:
+//!
+//! 1. a data-parallel run with a [`CheckpointPolicy`] armed snapshots its
+//!    *complete* training state (weights, batch-norm stats, optimiser
+//!    buffers, RNG stream positions, partial epoch statistics) every few
+//!    steps into a v2 `nn::serialize` container;
+//! 2. a deterministic [`FaultPlan`] kills a rank mid-epoch — synchronous
+//!    SGD is all-or-nothing, so every rank aborts at the same lock-step
+//!    boundary and the job returns its last snapshot;
+//! 3. [`resume_from_snapshot`] restarts from that snapshot and finishes
+//!    **bit-identical** to a run that was never killed (asserted below),
+//!    then the real snapshot size feeds the Young–Daly analysis and the
+//!    failure-injection simulator comparing the NAM against the parallel
+//!    file system — the NAM's original raison d'être ([12]).
 //!
 //! ```sh
 //! cargo run --release --example checkpoint_restart
 //! ```
 
 use msa_suite::data::bigearth::{self, BigEarthConfig};
+use msa_suite::distrib::{
+    resume_from_snapshot, train_data_parallel, train_data_parallel_faulted, CheckpointPolicy,
+    TrainConfig, TrainOutcome,
+};
 use msa_suite::msa_core::SimTime;
+use msa_suite::msa_net::FaultPlan;
 use msa_suite::msa_storage::{simulate_failures, CheckpointTarget, YoungDaly};
-use msa_suite::nn::{models, serialize, Adam, Layer, Loss, Optimizer, SoftmaxCrossEntropy};
+use msa_suite::nn::{models, Adam, Optimizer, SoftmaxCrossEntropy};
 use msa_suite::tensor::Rng;
 
 fn main() {
-    // ---- 1. Train a little, snapshot, crash, restore, continue ----
+    // ---- 1. Train with checkpointing, kill a rank, resume ----
     let ds = bigearth::generate(
         120,
         &BigEarthConfig {
@@ -32,49 +46,93 @@ fn main() {
         let mut rng = Rng::seed(seed);
         models::resnet_mini(3, 3, 8, 1, &mut rng)
     };
-    let mut model = model_fn(1);
-    let mut opt = Adam::new(5e-3);
-    let mut rng = Rng::seed(9);
-    let mut losses = Vec::new();
-    let mut snapshot = Vec::new();
-    for epoch in 0..6 {
-        for (bx, by) in ds.batches(30, &mut rng) {
-            model.zero_grad();
-            let pred = model.forward(&bx, true);
-            let (l, grad) = SoftmaxCrossEntropy.compute(&pred, &by);
-            model.backward(&grad);
-            opt.step(&mut model.params_mut());
-            losses.push(l);
-        }
-        if epoch == 2 {
-            snapshot = serialize::save(&model);
-            println!(
-                "epoch {epoch}: checkpointed {} bytes (loss {:.4})",
-                snapshot.len(),
-                losses.last().expect("training ran")
-            );
-        }
-    }
-    println!("final loss without failure: {:.4}", losses.last().expect("training ran"));
+    let opt_fn = |lr: f32| -> Box<dyn Optimizer> { Box::new(Adam::new(lr)) };
+    let cfg = TrainConfig {
+        workers: 2,
+        epochs: 6,
+        batch_per_worker: 15,
+        base_lr: 5e-3,
+        lr_scaling: true,
+        warmup_epochs: 1,
+        seed: 1,
+        checkpoint: Some(CheckpointPolicy::every(3)),
+    };
 
-    // "Crash": rebuild from scratch and restore the snapshot.
-    let mut restored = model_fn(999); // different random init
-    serialize::load(&mut restored, &snapshot).expect("snapshot loads");
-    let x = ds.x.slice_batch(0, 4);
-    let mut orig_at_ckpt = model_fn(1);
-    serialize::load(&mut orig_at_ckpt, &snapshot).expect("snapshot loads");
-    let a = orig_at_ckpt.predict(&x);
-    let b = restored.predict(&x);
-    assert_eq!(a.data(), b.data());
-    println!("restore verified: restored model reproduces checkpointed outputs exactly\n");
+    // The run nothing happens to, for comparison.
+    let reference = train_data_parallel(&cfg, &ds, model_fn, opt_fn, SoftmaxCrossEntropy);
+    println!(
+        "reference run: {} epochs, {} steps/rank, {} checkpoints, final loss {:.4}",
+        reference.epochs.len(),
+        reference.steps_per_rank,
+        reference.checkpoints.len(),
+        reference.epochs.last().map_or(f32::NAN, |e| e.mean_loss),
+    );
+
+    // Same run, but rank 1 dies after 10 global steps (mid-epoch 2).
+    let fault = FaultPlan {
+        rank: 1,
+        at_step: 10,
+    };
+    let outcome =
+        train_data_parallel_faulted(&cfg, &ds, model_fn, opt_fn, SoftmaxCrossEntropy, Some(fault));
+    let TrainOutcome::Interrupted { failure, snapshot } = outcome else {
+        panic!("armed fault must interrupt the run");
+    };
+    let snapshot = snapshot.expect("a checkpoint preceded the kill");
+    println!(
+        "\nfault injected: {failure}\nlast snapshot: {} bytes of full training state",
+        snapshot.len()
+    );
+
+    // Resume and finish the job.
+    let resumed = resume_from_snapshot(
+        &cfg,
+        &ds,
+        model_fn,
+        opt_fn,
+        SoftmaxCrossEntropy,
+        &snapshot,
+        None,
+    )
+    .expect("snapshot matches the config");
+    let TrainOutcome::Completed(resumed) = resumed else {
+        panic!("resumed run has no fault armed");
+    };
+
+    assert_eq!(
+        resumed.final_params, reference.final_params,
+        "resumed parameters must be bit-identical"
+    );
+    assert_eq!(resumed.final_state, reference.final_state);
+    for (r, e) in resumed.epochs.iter().zip(&reference.epochs) {
+        assert_eq!(r.mean_loss.to_bits(), e.mean_loss.to_bits());
+    }
+    println!(
+        "resume verified: killed-and-resumed run is bit-identical to the \
+         uninterrupted one\n(final loss {:.4}, {} params compared exactly)",
+        resumed.epochs.last().map_or(f32::NAN, |e| e.mean_loss),
+        resumed.final_params.len()
+    );
 
     // ---- 2. Where should checkpoints go? Young–Daly + failure sim ----
+    // Price the *real* snapshot this job writes, then scale the question
+    // up to a production-sized state.
+    let snap_bytes = snapshot.len() as u64;
+    println!("\nthis job's snapshot costs per write:");
+    for target in [CheckpointTarget::parallel_fs(), CheckpointTarget::nam()] {
+        println!(
+            "  {:<14} {}",
+            target.name,
+            target.checkpoint_cost_bytes(snap_bytes)
+        );
+    }
+
     let state_gib = 400.0;
     let nodes = 256;
     let mtbf = YoungDaly::system_mtbf(SimTime::from_secs(2.0e6), nodes);
     let work = SimTime::from_secs(100_000.0);
     println!(
-        "long job: {work} of work on {nodes} nodes (system MTBF {mtbf}), {state_gib} GiB state"
+        "\nlong job: {work} of work on {nodes} nodes (system MTBF {mtbf}), {state_gib} GiB state"
     );
     println!(
         "{:<16} {:>10} {:>11} {:>12} {:>11}",

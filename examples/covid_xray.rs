@@ -44,6 +44,7 @@ fn main() {
         lr_scaling: true,
         warmup_epochs: 1,
         seed: 3,
+        checkpoint: None,
     };
     println!("training CovidNet-lite with {} workers …", tc.workers);
     let rep = train_data_parallel(

@@ -54,7 +54,8 @@ fn main() {
         "nodes", "duplicate", "NAM-shared", "speedup"
     );
     for nodes in [1usize, 4, 16, 64] {
-        let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5);
+        let (dup, shared) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5)
+            .expect("100 GiB fits the DEEP NAM prototype");
         println!(
             "{:>7} {:>16} {:>14} {:>9.1}x",
             nodes,

@@ -48,6 +48,7 @@ fn main() {
         lr_scaling: true,
         warmup_epochs: 1,
         seed: 7,
+        checkpoint: None,
     };
     println!(
         "training mini-ResNet with {} data-parallel workers …",

@@ -45,6 +45,7 @@ fn main() {
             lr_scaling: true,
             warmup_epochs: 1,
             seed: 7,
+            checkpoint: None,
         };
         let rep = train_data_parallel(
             &tc,

@@ -59,6 +59,35 @@ impl ChaCha8Rng {
         }
     }
 
+    /// Number of 32-bit words consumed from the current keystream.
+    ///
+    /// Counter mode makes the generator random-access: the pair
+    /// (`seed`, `word_pos`) fully identifies the generator state, which is
+    /// what training-state snapshots persist to make shuffling resumable.
+    pub fn word_pos(&self) -> u64 {
+        if self.idx >= 16 {
+            // No block loaded (fresh generator or exactly at a block edge
+            // after `set_word_pos`): `counter` is the next block to emit.
+            self.counter.wrapping_mul(16)
+        } else {
+            // A block is loaded and `counter` already points past it.
+            (self.counter.wrapping_sub(1)).wrapping_mul(16) + self.idx as u64
+        }
+    }
+
+    /// Seeks the keystream to an absolute word position (within the
+    /// current stream), the inverse of [`ChaCha8Rng::word_pos`].
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        let rem = (pos % 16) as usize;
+        if rem == 0 {
+            self.idx = 16; // next draw refills at `counter`
+        } else {
+            self.refill(); // loads block `counter`, bumps it
+            self.idx = rem;
+        }
+    }
+
     fn refill(&mut self) {
         let mut s = [
             // "expand 32-byte k"
@@ -159,6 +188,30 @@ mod tests {
         let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
         let vb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn word_pos_tracks_consumption_and_seeks() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(a.word_pos(), 0);
+        for expect in 1..=40u64 {
+            a.next_u32();
+            assert_eq!(a.word_pos(), expect);
+        }
+        // Seeking a fresh generator to the same position resumes the
+        // identical stream, including across block boundaries.
+        for pos in [0u64, 1, 15, 16, 17, 31, 32, 40] {
+            let mut replay = ChaCha8Rng::seed_from_u64(11);
+            for _ in 0..pos {
+                replay.next_u32();
+            }
+            let mut seeked = ChaCha8Rng::seed_from_u64(11);
+            seeked.set_word_pos(pos);
+            assert_eq!(seeked.word_pos(), pos, "pos {pos}");
+            for _ in 0..20 {
+                assert_eq!(seeked.next_u32(), replay.next_u32(), "pos {pos}");
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn covidnet_separates_three_classes_distributed() {
         lr_scaling: true,
         warmup_epochs: 1,
         seed: 3,
+        checkpoint: None,
     };
     let rep = train_data_parallel(
         &tc,

@@ -45,6 +45,7 @@ fn distributed_cnn_accuracy_is_preserved_across_worker_counts() {
             lr_scaling: true,
             warmup_epochs: 1,
             seed: 7,
+            checkpoint: None,
         };
         let rep = train_data_parallel(
             &tc,

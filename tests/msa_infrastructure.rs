@@ -70,7 +70,7 @@ fn nam_and_booster_profiles_compose_into_a_campaign() {
 
     let archive = ArchiveLink::site_uplink();
     let nam = Nam::deep_prototype();
-    let (dup, shared) = StagingPlan::compare(66.0, nodes, &archive, &nam, 12.5);
+    let (dup, shared) = StagingPlan::compare(66.0, nodes, &archive, &nam, 12.5).unwrap();
     assert!(shared.time < dup.time);
     assert!(
         shared.time.as_secs() < train_time.as_secs(),
