@@ -11,7 +11,9 @@ use std::time::Instant;
 use data::bigearth::{self, spectral_features, BigEarthConfig};
 use data::cxr::{self, CxrConfig};
 use data::icu::{self, IcuConfig, SPO2};
-use distrib::{evaluate_classifier, train_data_parallel, MlCampaign, ScalingModel, TrainConfig};
+use distrib::{
+    evaluate_classifier, CheckpointPolicy, MlCampaign, ScalingModel, TrainConfig, Trainer,
+};
 use hpda::tier::TierModel;
 use hpda::Pdata;
 use ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
@@ -20,11 +22,14 @@ use msa_core::report::{affinity_matrix, affinity_report, module_spec_table, syst
 use msa_core::system::presets;
 use msa_core::ModuleKind;
 use msa_net::{CollectiveAlgo, LinkParams};
-use msa_sched::{compare_architectures, compare_interactive, interactive_sessions, TraceConfig};
+use msa_sched::{
+    compare_architectures, compare_interactive, generate_trace, interactive_sessions,
+    MsaPlacement, TraceConfig,
+};
 use msa_storage::{
     simulate_failures, ArchiveLink, CheckpointTarget, Nam, StagingPlan, YoungDaly,
 };
-use nn::{models, Adam, Layer, MaskedMae, Optimizer, SoftmaxCrossEntropy};
+use nn::{models, Adam, Dense, Layer, MaskedMae, Optimizer, Relu, Sequential, Sgd, SoftmaxCrossEntropy};
 use qa::{train_ensemble, AnnealerSpec, QsvmConfig};
 use tensor::{Rng, Tensor};
 
@@ -131,13 +136,11 @@ pub fn e3_scaling() -> String {
             seed: 7,
             checkpoint: None,
         };
-        let rep = train_data_parallel(
-            &tc,
-            &train,
-            model_fn,
-            |lr| Box::new(Adam::new(lr)),
-            SoftmaxCrossEntropy,
-        );
+        let rep = Trainer::new(tc.clone())
+            .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+            // lint: allow(unwrap) -- no resume snapshot supplied, decode cannot fail
+            .expect("no snapshot to validate")
+            .completed();
         let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
         let _ = writeln!(
             out,
@@ -370,13 +373,11 @@ pub fn e6_covidnet_generations() -> String {
         seed: 3,
         checkpoint: None,
     };
-    let rep = train_data_parallel(
-        &tc,
-        &train,
-        model_fn,
-        |lr| Box::new(Adam::new(lr)),
-        SoftmaxCrossEntropy,
-    );
+    let rep = Trainer::new(tc.clone())
+        .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+        // lint: allow(unwrap) -- no resume snapshot supplied, decode cannot fail
+        .expect("no snapshot to validate")
+        .completed();
     let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
     let _ = writeln!(
         out,
@@ -780,12 +781,131 @@ pub fn e14_interactive() -> String {
     out
 }
 
+fn obs_mlp(seed: u64) -> Sequential {
+    let mut rng = Rng::seed(seed);
+    Sequential::new()
+        .push(Dense::new(8, 16, &mut rng))
+        .push(Relu::new())
+        .push(Dense::new(16, 4, &mut rng))
+}
+
+/// Tiny separable dataset for the observability runs (same construction
+/// as the trainer's toy problem; fully seed-determined).
+fn obs_dataset(n: usize, dim: usize, classes: usize, seed: u64) -> data::Dataset {
+    let mut rng = Rng::seed(seed);
+    let mut x = Vec::with_capacity(n * dim);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(classes);
+        let mut row: Vec<f32> = (0..dim).map(|_| rng.normal() * 0.3).collect();
+        row[c] += 2.0;
+        x.extend(row);
+        y.push(c as f32);
+    }
+    data::Dataset {
+        x: Tensor::from_vec(x, &[n, dim]),
+        y: Tensor::from_vec(y, &[n]),
+    }
+}
+
+/// The PR-3 observability artifact (`BENCH_pr3.json`): one deterministic
+/// msa-obs registry covering
+///
+/// * real data-parallel training at p ∈ {1, 4, 8} — per-phase
+///   stage/compute/allreduce/checkpoint breakdown, per-collective
+///   message/byte counters and modeled wait, tagged `run=p<N>`;
+/// * the EASY-backfill scheduler on a DEEP trace — makespan and
+///   per-module utilization;
+/// * the NAM staging planner — WAN traffic and staging time per strategy.
+///
+/// Everything is virtual-time priced and integer-accumulated, so two
+/// calls return **byte-identical** snapshots (asserted in CI by running
+/// the binary twice and comparing the files).
+pub fn obs_report() -> msa_obs::Snapshot {
+    use std::sync::Arc;
+    let reg = Arc::new(msa_obs::MetricsRegistry::new());
+
+    // (a) Trainer: weak-scaling sweep with checkpoints armed.
+    let ds = obs_dataset(256, 8, 4, 97);
+    for workers in [1usize, 4, 8] {
+        let tc = TrainConfig {
+            workers,
+            epochs: 2,
+            batch_per_worker: 8,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 97,
+            checkpoint: Some(CheckpointPolicy::every(5)),
+        };
+        Trainer::new(tc)
+            .recorder(Arc::clone(&reg))
+            .tag(format!("p{workers}"))
+            .run(
+                &ds,
+                obs_mlp,
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            // lint: allow(unwrap) -- no resume snapshot supplied, decode cannot fail
+            .expect("no snapshot to validate")
+            .completed();
+    }
+
+    // (b) Scheduler: module utilization on a mixed DEEP trace.
+    let sys = presets::deep();
+    let trace = generate_trace(&TraceConfig {
+        jobs: 40,
+        mean_interarrival_s: 2.0,
+        scale: 30.0,
+        max_nodes: 12,
+        ..Default::default()
+    });
+    let sched_rep = msa_sched::schedule(&sys, &trace, &MsaPlacement);
+    sched_rep.record_into(&*reg, &sys, &[("trace", "deep40")]);
+
+    // (c) Storage: staging traffic, duplicate vs NAM-shared.
+    let archive = ArchiveLink::site_uplink();
+    let nam = Nam::deep_prototype();
+    for nodes in [4usize, 64] {
+        let nodes_s = nodes.to_string();
+        let labels = [("nodes", nodes_s.as_str())];
+        if let Ok((dup, shared)) = StagingPlan::compare(100.0, nodes, &archive, &nam, 12.5) {
+            dup.record_into(&*reg, &labels);
+            shared.record_into(&*reg, &labels);
+        }
+    }
+
+    reg.snapshot()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn unknown_experiment_reports_gracefully() {
         let s = super::run("e99");
         assert!(s.contains("unknown experiment"));
+    }
+
+    #[test]
+    fn obs_report_is_nonempty_and_bit_identical() {
+        let a = super::obs_report();
+        let b = super::obs_report();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "two obs runs must produce identical snapshots");
+        assert_eq!(a.to_json(), b.to_json());
+        // The headline artifacts are present: trainer breakdown per p,
+        // per-collective traffic, module utilization, staging bytes.
+        for k in [
+            "trainer.phase.compute.time{rank=0,run=p1}",
+            "trainer.phase.allreduce.time{rank=0,run=p4}",
+            "trainer.phase.checkpoint.time{rank=0,run=p8}",
+            "net.comm.bytes_sent{op=allreduce,rank=3,run=p4}",
+            "sched.makespan{trace=deep40}",
+            "storage.staging.wan_bytes{nodes=64,strategy=nam}",
+        ] {
+            assert!(a.get(k).is_some(), "missing key {k}");
+        }
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub use compress::{sparse_allreduce_mean, TopKCompressor};
 pub use modular::{MlCampaign, WorkflowCost};
 pub use perf::{ScalingModel, ScalingPoint};
 pub use trainer::{
-    evaluate_classifier, evaluate_loss, resume_from_snapshot, train_data_parallel,
-    train_data_parallel_faulted, EpochStats, TrainConfig, TrainOutcome, TrainReport,
+    evaluate_classifier, evaluate_loss, EpochBreakdown, EpochStats, PhaseBreakdown, StepCost,
+    TrainConfig, TrainOutcome, TrainReport, Trainer,
 };
+#[allow(deprecated)]
+pub use trainer::{resume_from_snapshot, train_data_parallel, train_data_parallel_faulted};

@@ -10,25 +10,61 @@
 //! use on JUWELS): the learning rate is scaled linearly with the number
 //! of workers and ramped up over warmup epochs.
 //!
+//! # Entry point
+//!
+//! [`Trainer`] is the single builder-style entry point; faulted runs,
+//! resumes and observability are options, not separate functions:
+//!
+//! ```text
+//! Trainer::new(cfg)
+//!     .fault(plan)         // optional deterministic kill
+//!     .resume(&snapshot)   // optional restart from a checkpoint
+//!     .recorder(registry)  // optional metrics sink (msa-obs)
+//!     .cost(step_cost)     // optional analytic step-cost model
+//!     .run(&dataset, model_fn, opt_fn, loss)?
+//! ```
+//!
+//! The legacy free functions ([`train_data_parallel`],
+//! [`train_data_parallel_faulted`], [`resume_from_snapshot`]) are thin
+//! deprecated forwards onto the builder.
+//!
+//! # Observability
+//!
+//! Every rank carries a [`msa_obs::VirtualClock`] in integer picoseconds
+//! and prices the four phases of each step with a [`StepCost`] model:
+//! batch **staging**, forward/backward **compute**, gradient
+//! **allreduce**, and **checkpoint** writes. The per-phase totals land in
+//! [`TrainReport::breakdown`] (with per-epoch rollups in
+//! [`TrainReport::epoch_breakdown`]), and — when a recorder is attached —
+//! as `trainer.*` metrics merged in rank order, alongside the
+//! communicator's per-collective traffic counters. All durations are
+//! integer picoseconds, so identical runs produce bit-identical
+//! snapshots.
+//!
 //! # Checkpoint/restart
 //!
 //! With a [`CheckpointPolicy`] armed, rank 0 snapshots the *full*
 //! training state every N steps — weights, batch-norm state, optimiser
 //! buffers and a [`TrainerProgress`] record (RNG stream positions,
 //! partial epoch statistics, LR schedule point) — into a version-2
-//! `nn::serialize` snapshot. [`train_data_parallel_faulted`] arms a
-//! deterministic [`FaultPlan`] ("kill rank r at step s"): synchronous
-//! SGD is all-or-nothing, so one dead rank aborts every rank at the same
+//! `nn::serialize` snapshot. [`Trainer::fault`] arms a deterministic
+//! [`FaultPlan`] ("kill rank r at step s"): synchronous SGD is
+//! all-or-nothing, so one dead rank aborts every rank at the same
 //! lock-step boundary and the run returns
 //! [`TrainOutcome::Interrupted`] carrying the last snapshot.
-//! [`resume_from_snapshot`] restarts from that snapshot and — by
+//! [`Trainer::resume`] restarts from that snapshot and — by
 //! construction, asserted in `tests/checkpoint_resume.rs` — finishes
 //! **bit-identical** to the run that was never killed.
 
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
 use data::Dataset;
-use msa_net::{Communicator, FaultPlan, RankKilled, ThreadComm};
+use msa_core::SimTime;
+use msa_net::{
+    CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled, ThreadComm,
+};
+use msa_obs::{key, MetricsRegistry, Recorder, VirtualClock};
 use nn::{serialize, u64_to_words, words_to_u64, Layer, Loss, Optimizer, Sequential};
+use std::sync::Arc;
 use std::time::Instant;
 use tensor::{Rng, Tensor};
 
@@ -76,11 +112,113 @@ pub struct EpochStats {
     pub lr: f32,
 }
 
+/// Analytic cost model pricing the phases of one training step.
+///
+/// The trainer executes for real (threads, channels, actual gradients)
+/// but *times* itself on a virtual clock: each phase is priced by this
+/// model and accumulated in integer picoseconds, so the reported
+/// breakdown is deterministic and directly comparable to the α–β
+/// collective models in `msa-net::cost`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepCost {
+    /// FLOPs per sample for forward + backward. `0.0` (the default)
+    /// derives `6 × params` — the usual 2 FLOPs/param forward plus twice
+    /// that backward.
+    pub flops_per_sample: f64,
+    /// Sustained device throughput in TFLOP/s.
+    pub gpu_tflops: f64,
+    /// Host→device batch staging bandwidth in GB/s.
+    pub stage_gbs: f64,
+    /// Interconnect pricing the gradient allreduce; also handed to the
+    /// communicator so per-message modeled wait uses the same link.
+    pub link: LinkParams,
+    /// Collective algorithm priced for the gradient allreduce.
+    pub algo: CollectiveAlgo,
+}
+
+impl Default for StepCost {
+    fn default() -> Self {
+        StepCost {
+            flops_per_sample: 0.0,
+            gpu_tflops: 15.7, // V100 FP32 peak (JUWELS Booster GPU)
+            stage_gbs: 12.5,  // PCIe gen3 ×16
+            link: LinkParams::infiniband_edr(),
+            algo: CollectiveAlgo::Ring,
+        }
+    }
+}
+
+impl StepCost {
+    /// Forward+backward time for a batch of `samples` on a model with
+    /// `params` trainable parameters.
+    pub fn compute_time(&self, params: usize, samples: usize) -> SimTime {
+        let per_sample = if self.flops_per_sample > 0.0 {
+            self.flops_per_sample
+        } else {
+            6.0 * params as f64
+        };
+        SimTime::from_secs(per_sample * samples as f64 / (self.gpu_tflops * 1e12))
+    }
+
+    /// Host→device staging time for `bytes` of batch data.
+    pub fn stage_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(bytes as f64 / (self.stage_gbs * 1e9))
+    }
+
+    /// Gradient allreduce time across `ranks` endpoints under the
+    /// configured algorithm and link.
+    pub fn allreduce_time(&self, ranks: usize, bytes: u64) -> SimTime {
+        self.algo.allreduce_time(ranks, bytes as f64, self.link)
+    }
+}
+
+/// Modeled time in each phase of the training loop, in integer
+/// picoseconds. `u64` addition is exact and order-independent, so
+/// identical runs accumulate bit-identical breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Host→device batch staging.
+    pub stage_ps: u64,
+    /// Forward + backward compute.
+    pub compute_ps: u64,
+    /// Gradient allreduce.
+    pub allreduce_ps: u64,
+    /// Checkpoint serialisation + write (priced on rank 0).
+    pub checkpoint_ps: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases in picoseconds.
+    pub fn total_ps(&self) -> u64 {
+        self.stage_ps + self.compute_ps + self.allreduce_ps + self.checkpoint_ps
+    }
+
+    /// Sum of all phases as a [`SimTime`].
+    pub fn total(&self) -> SimTime {
+        msa_obs::ps_to_simtime(self.total_ps())
+    }
+
+    fn absorb(&mut self, other: &PhaseBreakdown) {
+        self.stage_ps += other.stage_ps;
+        self.compute_ps += other.compute_ps;
+        self.allreduce_ps += other.allreduce_ps;
+        self.checkpoint_ps += other.checkpoint_ps;
+    }
+}
+
+/// One epoch's phase rollup (only epochs this run executed steps in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochBreakdown {
+    pub epoch: usize,
+    pub phases: PhaseBreakdown,
+}
+
 /// Result of a data-parallel run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
     pub epochs: Vec<EpochStats>,
-    /// Wall-clock of the whole run in seconds.
+    /// Wall-clock of the whole run in seconds (host time; *not* part of
+    /// the deterministic surface — use [`TrainReport::sim_wall_ps`]).
     pub wall_secs: f64,
     /// Final (synchronised) flat parameter vector, for evaluation.
     pub final_params: Vec<f32>,
@@ -92,6 +230,21 @@ pub struct TrainReport {
     pub checkpoints: Vec<CheckpointRecord>,
     /// The most recent full training-state snapshot (rank 0's copy).
     pub latest_snapshot: Option<Vec<u8>>,
+    /// Rank 0's virtual clock at the end of the run, in picoseconds.
+    /// Equals `breakdown.total_ps()` by construction.
+    pub sim_wall_ps: u64,
+    /// Phase totals over the steps executed *in this run* (a resumed run
+    /// counts only post-resume steps).
+    pub breakdown: PhaseBreakdown,
+    /// Per-epoch phase rollups for the epochs this run ran steps in.
+    pub epoch_breakdown: Vec<EpochBreakdown>,
+}
+
+impl TrainReport {
+    /// Modeled duration of the run as a [`SimTime`].
+    pub fn sim_wall(&self) -> SimTime {
+        msa_obs::ps_to_simtime(self.sim_wall_ps)
+    }
 }
 
 /// How a (possibly fault-injected) run ended.
@@ -106,6 +259,35 @@ pub enum TrainOutcome {
         failure: RankKilled,
         snapshot: Option<Vec<u8>>,
     },
+}
+
+impl TrainOutcome {
+    /// Unwraps the completed report.
+    ///
+    /// # Panics
+    /// If the run was interrupted by a fault.
+    pub fn completed(self) -> TrainReport {
+        match self {
+            TrainOutcome::Completed(report) => report,
+            TrainOutcome::Interrupted { failure, .. } => {
+                panic!(
+                    "run interrupted: rank {} killed at step {}",
+                    failure.rank, failure.at_step
+                )
+            }
+        }
+    }
+
+    /// Unwraps the interruption record.
+    ///
+    /// # Panics
+    /// If the run completed.
+    pub fn interrupted(self) -> (RankKilled, Option<Vec<u8>>) {
+        match self {
+            TrainOutcome::Interrupted { failure, snapshot } => (failure, snapshot),
+            TrainOutcome::Completed(_) => panic!("run completed; no interruption"),
+        }
+    }
 }
 
 /// Effective LR for `epoch` under scaling + warmup.
@@ -124,13 +306,135 @@ pub fn effective_lr(cfg: &TrainConfig, epoch: usize) -> f32 {
     }
 }
 
-/// Runs Horovod-style data-parallel training.
+/// Builder-style entry point for Horovod-style data-parallel training.
 ///
 /// `model_fn(seed)` must build an identically-initialised model on every
 /// rank (same seed ⇒ same weights, the cheap equivalent of an initial
 /// broadcast — a real broadcast is also exercised: rank 0's weights are
 /// broadcast at t=0 and asserted equal). `opt_fn(lr)` builds each rank's
 /// optimiser. `loss` maps (pred, target) to (loss, grad).
+///
+/// [`Trainer::run`] only returns `Err` when a [`Trainer::resume`]
+/// snapshot fails validation; plain runs can `expect` the `Ok`.
+#[derive(Clone)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    fault: Option<FaultPlan>,
+    snapshot: Option<Vec<u8>>,
+    recorder: Option<Arc<MetricsRegistry>>,
+    cost: StepCost,
+    tag: Option<String>,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("cfg", &self.cfg)
+            .field("fault", &self.fault)
+            .field("snapshot_bytes", &self.snapshot.as_ref().map(Vec::len))
+            .field("recorder", &self.recorder.is_some())
+            .field("cost", &self.cost)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+impl Trainer {
+    /// A trainer for `cfg` with no fault, no resume, no recorder and the
+    /// default [`StepCost`].
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer {
+            cfg,
+            fault: None,
+            snapshot: None,
+            recorder: None,
+            cost: StepCost::default(),
+            tag: None,
+        }
+    }
+
+    /// Arms a deterministic fault: kill `plan.rank` at global step
+    /// `plan.at_step`.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// [`Trainer::fault`] taking an `Option` (convenience for callers
+    /// that thread an optional plan through).
+    pub fn fault_opt(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Restarts from a full training-state snapshot. The snapshot's
+    /// worker count, seed and LR schedule point are validated bit-exactly
+    /// against `cfg` when [`Trainer::run`] is called.
+    pub fn resume(mut self, snapshot: &[u8]) -> Self {
+        self.snapshot = Some(snapshot.to_vec());
+        self
+    }
+
+    /// Attaches a metrics sink: per-rank phase timings, collective
+    /// traffic counters and epoch rollups are merged into it in rank
+    /// order when the run finishes (fault-interrupted runs included).
+    pub fn recorder(mut self, recorder: Arc<MetricsRegistry>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Overrides the analytic step-cost model (device throughput,
+    /// staging bandwidth, interconnect, collective algorithm).
+    pub fn cost(mut self, cost: StepCost) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Labels every metric this run records with `run=<tag>`, so several
+    /// runs can share one registry without colliding.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Runs the configured training job.
+    ///
+    /// Returns `Err` only when a [`Trainer::resume`] snapshot fails
+    /// validation (wrong workers/seed/LR schedule, or not a trainer
+    /// snapshot at all).
+    pub fn run<M, O, L>(
+        &self,
+        dataset: &Dataset,
+        model_fn: M,
+        opt_fn: O,
+        loss: L,
+    ) -> Result<TrainOutcome, CheckpointError>
+    where
+        M: Fn(u64) -> Sequential + Sync,
+        O: Fn(f32) -> Box<dyn Optimizer> + Sync,
+        L: Loss + Sync,
+    {
+        let resume = match &self.snapshot {
+            Some(snap) => Some(decode_resume(&self.cfg, &model_fn, snap)?),
+            None => None,
+        };
+        Ok(run_engine(
+            &self.cfg,
+            dataset,
+            &model_fn,
+            &opt_fn,
+            &loss,
+            self.fault,
+            resume.as_ref(),
+            &self.cost,
+            self.tag.as_deref(),
+            self.recorder.as_deref(),
+        ))
+    }
+}
+
+/// Runs Horovod-style data-parallel training.
+#[deprecated(note = "use Trainer::new(cfg.clone()).run(dataset, model_fn, opt_fn, loss)")]
 pub fn train_data_parallel<M, O, L>(
     cfg: &TrainConfig,
     dataset: &Dataset,
@@ -143,16 +447,14 @@ where
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
     L: Loss + Sync,
 {
-    match run_engine(cfg, dataset, &model_fn, &opt_fn, &loss, None, None) {
-        TrainOutcome::Completed(report) => report,
-        TrainOutcome::Interrupted { .. } => unreachable!("no fault armed"),
+    match Trainer::new(cfg.clone()).run(dataset, model_fn, opt_fn, loss) {
+        Ok(outcome) => outcome.completed(),
+        Err(_) => unreachable!("no snapshot to validate"),
     }
 }
 
-/// [`train_data_parallel`] with an optional armed [`FaultPlan`]. With a
-/// fault that fires before training ends the run returns
-/// [`TrainOutcome::Interrupted`]; hand its snapshot to
-/// [`resume_from_snapshot`] to finish the job.
+/// [`train_data_parallel`] with an optional armed [`FaultPlan`].
+#[deprecated(note = "use Trainer::new(cfg.clone()).fault_opt(fault).run(…)")]
 pub fn train_data_parallel_faulted<M, O, L>(
     cfg: &TrainConfig,
     dataset: &Dataset,
@@ -166,18 +468,17 @@ where
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
     L: Loss + Sync,
 {
-    run_engine(cfg, dataset, &model_fn, &opt_fn, &loss, fault, None)
+    match Trainer::new(cfg.clone())
+        .fault_opt(fault)
+        .run(dataset, model_fn, opt_fn, loss)
+    {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("no snapshot to validate"),
+    }
 }
 
 /// Restarts an interrupted run from a full training-state snapshot.
-///
-/// `cfg`, `dataset`, `model_fn`, `opt_fn` and `loss` must describe the
-/// same run that produced the snapshot: the worker count, seed and LR
-/// schedule point are validated bit-exactly ([`CheckpointError`]
-/// otherwise), and the RNG stream positions are re-checked per rank once
-/// the shuffle is re-drawn. A further `fault` may be armed to interrupt
-/// the resumed run again (its `at_step` counts *global* steps, like the
-/// snapshot's).
+#[deprecated(note = "use Trainer::new(cfg.clone()).resume(snapshot).fault_opt(fault).run(…)")]
 pub fn resume_from_snapshot<M, O, L>(
     cfg: &TrainConfig,
     dataset: &Dataset,
@@ -191,6 +492,32 @@ where
     M: Fn(u64) -> Sequential + Sync,
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
     L: Loss + Sync,
+{
+    Trainer::new(cfg.clone())
+        .resume(snapshot)
+        .fault_opt(fault)
+        .run(dataset, model_fn, opt_fn, loss)
+}
+
+/// Decoded snapshot handed to every rank on resume.
+struct ResumeState {
+    params: Vec<f32>,
+    state: Vec<f32>,
+    opt_state: Vec<f32>,
+    progress: TrainerProgress,
+}
+
+/// Decodes and validates a resume snapshot against `cfg`: the worker
+/// count, seed and LR schedule point must match bit-exactly, or the
+/// replayed steps would diverge from the original run. (The RNG stream
+/// positions are re-checked per rank once the shuffle is re-drawn.)
+fn decode_resume<M>(
+    cfg: &TrainConfig,
+    model_fn: &M,
+    snapshot: &[u8],
+) -> Result<ResumeState, CheckpointError>
+where
+    M: Fn(u64) -> Sequential,
 {
     let mut model = model_fn(cfg.seed);
     let (opt_state, meta) = serialize::load_training(&mut model, snapshot)?;
@@ -216,8 +543,6 @@ where
             config: cfg.epochs as u64,
         });
     }
-    // The resumed schedule must hit the snapshot's LR exactly, or the
-    // replayed steps would diverge from the original run.
     let lr = effective_lr(cfg, progress.epoch as usize);
     if lr.to_bits() != progress.lr_bits {
         return Err(CheckpointError::ConfigMismatch {
@@ -226,31 +551,22 @@ where
             config: lr.to_bits() as u64,
         });
     }
-    let resume = ResumeState {
+    Ok(ResumeState {
         params: model.values_vec(),
         state: model.state(),
         opt_state,
         progress,
-    };
-    Ok(run_engine(
-        cfg,
-        dataset,
-        &model_fn,
-        &opt_fn,
-        &loss,
-        fault,
-        Some(&resume),
-    ))
+    })
 }
 
-/// Decoded snapshot handed to every rank on resume.
-struct ResumeState {
-    params: Vec<f32>,
-    state: Vec<f32>,
-    opt_state: Vec<f32>,
-    progress: TrainerProgress,
+/// What one rank hands back: the training outcome plus its local
+/// metrics registry (populated even when the rank was killed).
+struct RankRun {
+    outcome: Result<TrainReport, (RankKilled, Option<Vec<u8>>)>,
+    metrics: MetricsRegistry,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine<M, O, L>(
     cfg: &TrainConfig,
     dataset: &Dataset,
@@ -259,6 +575,9 @@ fn run_engine<M, O, L>(
     loss: &L,
     fault: Option<FaultPlan>,
     resume: Option<&ResumeState>,
+    cost: &StepCost,
+    tag: Option<&str>,
+    recorder: Option<&MetricsRegistry>,
 ) -> TrainOutcome
 where
     M: Fn(u64) -> Sequential + Sync,
@@ -269,13 +588,26 @@ where
     assert!(cfg.epochs >= 1);
     let start = Instant::now();
 
-    let results = ThreadComm::run_with_fault(cfg.workers, fault, |comm| {
-        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume)
+    let opts = CommOptions::new().fault_opt(fault).link(cost.link);
+    let results = ThreadComm::run_with(cfg.workers, &opts, |comm| {
+        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, tag)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
+    // Merge per-rank registries in rank order: all msa-obs values are
+    // order-independent under merge, but a fixed order keeps even the
+    // pathological cases (duplicate gauge keys) deterministic.
+    let mut rank0 = None;
+    for (r, run) in results.into_iter().enumerate() {
+        if let Some(rec) = recorder {
+            rec.merge_snapshot(&run.metrics.snapshot());
+        }
+        if r == 0 {
+            rank0 = Some(run.outcome);
+        }
+    }
     // lint: allow(unwrap) -- ThreadComm::run returns one result per rank and workers >= 1
-    let rank0 = results.into_iter().next().expect("at least one rank");
+    let rank0 = rank0.expect("at least one rank");
     match rank0 {
         Ok(mut report) => {
             report.wall_secs = wall_secs;
@@ -294,7 +626,9 @@ fn train_rank<M, O, L>(
     opt_fn: &O,
     loss: &L,
     resume: Option<&ResumeState>,
-) -> Result<TrainReport, (RankKilled, Option<Vec<u8>>)>
+    cost: &StepCost,
+    tag: Option<&str>,
+) -> RankRun
 where
     M: Fn(u64) -> Sequential + Sync,
     O: Fn(f32) -> Box<dyn Optimizer> + Sync,
@@ -303,6 +637,8 @@ where
     use msa_net::PointToPoint as _;
     let rank = comm.rank();
     let size = comm.size();
+    let reg = MetricsRegistry::new();
+    let clock = VirtualClock::new();
 
     // Identical init everywhere, then belt-and-braces broadcast from 0.
     // On resume every rank loads the snapshot's weights instead, and the
@@ -314,6 +650,7 @@ where
     }
     let mut params = model.values_vec();
     comm.broadcast(&mut params, 0);
+    let n_params = params.len();
     model.set_values(&params);
 
     let start_epoch = resume.map_or(0, |r| r.progress.epoch as usize);
@@ -344,6 +681,10 @@ where
     let mut steps_per_rank = resume.map_or(0, |r| r.progress.steps_done as usize);
     let mut checkpoints: Vec<CheckpointRecord> = Vec::new();
     let mut latest_snapshot: Option<Vec<u8>> = None;
+    let mut totals = PhaseBreakdown::default();
+    let mut epoch_bds: Vec<EpochBreakdown> = Vec::new();
+    let mut steps_run: u64 = 0;
+    let mut allreduce_bytes: u64 = 0;
 
     for epoch in start_epoch..cfg.epochs {
         let lr = effective_lr(cfg, epoch);
@@ -374,29 +715,58 @@ where
             _ => (0, 0.0),
         };
         let mut step_in_epoch = skip;
+        let mut eb = PhaseBreakdown::default();
 
         for (bx, by) in batches.into_iter().take(min_steps).skip(skip) {
             // A dead rank makes the next collective impossible for every
             // rank; the armed fault therefore aborts all of them here, at
             // the same lock-step boundary.
             if let Err(killed) = comm.poll_fault(steps_per_rank as u64) {
-                return Err((killed, latest_snapshot));
+                totals.absorb(&eb);
+                record_rank_metrics(
+                    &reg,
+                    comm,
+                    rank,
+                    tag,
+                    &totals,
+                    &epoch_bds,
+                    steps_run,
+                    allreduce_bytes,
+                    &epochs,
+                    &checkpoints,
+                    clock.now_ps(),
+                );
+                return RankRun {
+                    outcome: Err((killed, latest_snapshot)),
+                    metrics: reg,
+                };
             }
 
+            // Phase 1: stage the mini-batch host→device.
+            let batch_bytes = ((bx.data().len() + by.data().len()) * size_of::<f32>()) as u64;
+            eb.stage_ps += clock.advance(cost.stage_time(batch_bytes));
+
+            // Phase 2: forward + backward.
             model.zero_grad();
             let pred = model.forward(&bx, true);
             let (l, grad) = loss.compute(&pred, &by);
             model.backward(&grad);
+            let samples = bx.shape()[0];
+            eb.compute_ps += clock.advance(cost.compute_time(n_params, samples));
 
-            // The Horovod moment: average gradients across all ranks.
+            // Phase 3, the Horovod moment: average gradients across ranks.
             let mut flat = model.grads_vec();
+            let grad_bytes = (flat.len() * size_of::<f32>()) as u64;
             comm.allreduce_mean(&mut flat);
             model.set_grads(&flat);
+            eb.allreduce_ps += clock.advance(cost.allreduce_time(size, grad_bytes));
+            allreduce_bytes += grad_bytes;
 
             opt.step(&mut model.params_mut());
             loss_sum += l as f64;
             steps_per_rank += 1;
             step_in_epoch += 1;
+            steps_run += 1;
 
             if let Some(policy) = &cfg.checkpoint {
                 if (steps_per_rank as u64).is_multiple_of(policy.every_steps) {
@@ -431,12 +801,15 @@ where
                                 .collect(),
                         };
                         let snap = serialize::save_with(&model, &opt.state(), &progress.encode());
-                        checkpoints.push(CheckpointRecord {
+                        let record = CheckpointRecord {
                             global_step: steps_per_rank as u64,
                             epoch,
                             bytes: snap.len() as u64,
                             write_cost: policy.target.checkpoint_cost_bytes(snap.len() as u64),
-                        });
+                        };
+                        // Phase 4: the snapshot write (rank 0 pays it).
+                        eb.checkpoint_ps += clock.advance(record.write_cost);
+                        checkpoints.push(record);
                         latest_snapshot = Some(snap);
                     }
                 }
@@ -451,6 +824,8 @@ where
             mean_loss: stat[0],
             lr,
         });
+        totals.absorb(&eb);
+        epoch_bds.push(EpochBreakdown { epoch, phases: eb });
     }
 
     // Replicas must have stayed in lock-step: compare a parameter digest.
@@ -465,15 +840,94 @@ where
         );
     }
 
-    Ok(TrainReport {
-        epochs,
-        wall_secs: 0.0, // stamped by the caller
-        final_params: model.values_vec(),
-        final_state: model.state(),
-        steps_per_rank,
-        checkpoints,
-        latest_snapshot,
-    })
+    record_rank_metrics(
+        &reg,
+        comm,
+        rank,
+        tag,
+        &totals,
+        &epoch_bds,
+        steps_run,
+        allreduce_bytes,
+        &epochs,
+        &checkpoints,
+        clock.now_ps(),
+    );
+    RankRun {
+        outcome: Ok(TrainReport {
+            epochs,
+            wall_secs: 0.0, // stamped by the caller
+            final_params: model.values_vec(),
+            final_state: model.state(),
+            steps_per_rank,
+            checkpoints,
+            latest_snapshot,
+            sim_wall_ps: clock.now_ps(),
+            breakdown: totals,
+            epoch_breakdown: epoch_bds,
+        }),
+        metrics: reg,
+    }
+}
+
+/// Dumps one rank's phase totals, step counters and collective traffic
+/// into its local registry. Called on both the completed and the
+/// fault-interrupted exit path so killed runs still report.
+#[allow(clippy::too_many_arguments)]
+fn record_rank_metrics(
+    reg: &MetricsRegistry,
+    comm: &ThreadComm,
+    rank: usize,
+    tag: Option<&str>,
+    totals: &PhaseBreakdown,
+    epoch_bds: &[EpochBreakdown],
+    steps_run: u64,
+    allreduce_bytes: u64,
+    epochs: &[EpochStats],
+    checkpoints: &[CheckpointRecord],
+    sim_wall_ps: u64,
+) {
+    use msa_net::PointToPoint as _;
+    let rank_s = rank.to_string();
+    let mut labels: Vec<(&str, &str)> = vec![("rank", &rank_s)];
+    if let Some(t) = tag {
+        labels.push(("run", t));
+    }
+
+    for (phase, ps) in [
+        ("stage", totals.stage_ps),
+        ("compute", totals.compute_ps),
+        ("allreduce", totals.allreduce_ps),
+        ("checkpoint", totals.checkpoint_ps),
+    ] {
+        reg.time_ps(&key(&format!("trainer.phase.{phase}.time"), &labels), ps);
+    }
+    reg.add(&key("trainer.steps", &labels), steps_run);
+    reg.add(&key("trainer.allreduce.bytes", &labels), allreduce_bytes);
+    reg.time_ps(&key("trainer.sim_wall", &labels), sim_wall_ps);
+    if let Some(stats) = comm.stats() {
+        stats.export().record_into(reg, &labels);
+    }
+
+    // Epoch rollups come from rank 0 only — they are already averaged /
+    // global quantities, and one copy keeps the key space tidy.
+    if rank == 0 {
+        for eb in epoch_bds {
+            let epoch_s = eb.epoch.to_string();
+            let mut el = labels.clone();
+            el.push(("epoch", &epoch_s));
+            reg.time_ps(&key("trainer.epoch.time", &el), eb.phases.total_ps());
+        }
+        for e in epochs {
+            let epoch_s = e.epoch.to_string();
+            let mut el = labels.clone();
+            el.push(("epoch", &epoch_s));
+            reg.gauge(&key("trainer.epoch.mean_loss", &el), f64::from(e.mean_loss));
+        }
+        reg.add(&key("trainer.checkpoints", &labels), checkpoints.len() as u64);
+        let ckpt_bytes: u64 = checkpoints.iter().map(|c| c.bytes).sum();
+        reg.add(&key("trainer.checkpoint.bytes", &labels), ckpt_bytes);
+    }
 }
 
 /// Evaluates a trained flat parameter vector: rebuilds the model, loads
@@ -553,13 +1007,15 @@ mod tests {
             base_lr: 0.1,
             ..Default::default()
         };
-        let report = train_data_parallel(
-            &cfg,
-            &train,
-            |s| mlp(s, 8, 4),
-            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
-            SoftmaxCrossEntropy,
-        );
+        let report = Trainer::new(cfg.clone())
+            .run(
+                &train,
+                |s| mlp(s, 8, 4),
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            .expect("no snapshot to validate")
+            .completed();
         let acc = evaluate_classifier(|s| mlp(s, 8, 4), cfg.seed, &report, &test);
         assert!(acc > 0.9, "accuracy {acc}");
         assert!(report.epochs.last().unwrap().mean_loss < report.epochs[0].mean_loss);
@@ -584,13 +1040,15 @@ mod tests {
                 seed: 7,
                 checkpoint: None,
             };
-            let report = train_data_parallel(
-                &cfg,
-                &train,
-                |s| mlp(s, 8, 4),
-                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
-                SoftmaxCrossEntropy,
-            );
+            let report = Trainer::new(cfg.clone())
+                .run(
+                    &train,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed();
             accs.push(evaluate_classifier(|s| mlp(s, 8, 4), cfg.seed, &report, &test));
         }
         assert!(accs[0] > 0.9, "1-worker acc {}", accs[0]);
@@ -620,14 +1078,16 @@ mod tests {
                 seed: 5,
                 checkpoint: None,
             };
-            train_data_parallel(
-                &cfg,
-                &ds,
-                |s| mlp(s, 6, 3),
-                |l| Box::new(Sgd::new(l, 0.0, 0.0)),
-                SoftmaxCrossEntropy,
-            )
-            .final_params
+            Trainer::new(cfg)
+                .run(
+                    &ds,
+                    |s| mlp(s, 6, 3),
+                    |l| Box::new(Sgd::new(l, 0.0, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+                .final_params
         };
         let single = step(1, 0.1);
         let dual = step(2, 0.1);
@@ -688,13 +1148,10 @@ mod tests {
             seed: 11,
             checkpoint: None,
         };
-        let report = train_data_parallel(
-            &cfg,
-            &train,
-            model_fn,
-            |lr| Box::new(Adam::new(lr)),
-            SoftmaxCrossEntropy,
-        );
+        let report = Trainer::new(cfg.clone())
+            .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+            .expect("no snapshot to validate")
+            .completed();
         let acc = evaluate_classifier(model_fn, cfg.seed, &report, &test);
         assert!(acc > 0.5, "CNN should beat chance (0.33): {acc}");
         assert!(
@@ -716,18 +1173,22 @@ mod tests {
             seed: 13,
             checkpoint: Some(CheckpointPolicy::every(4)),
         };
-        let report = train_data_parallel(
-            &cfg,
-            &ds,
-            |s| mlp(s, 8, 4),
-            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
-            SoftmaxCrossEntropy,
-        );
+        let report = Trainer::new(cfg.clone())
+            .run(
+                &ds,
+                |s| mlp(s, 8, 4),
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            .expect("no snapshot to validate")
+            .completed();
         assert!(!report.checkpoints.is_empty());
         for (i, c) in report.checkpoints.iter().enumerate() {
             assert_eq!(c.global_step, 4 * (i as u64 + 1));
             assert!(c.bytes > 0 && c.write_cost.as_secs() > 0.0);
         }
+        // Rank 0 pays the modeled write cost of every snapshot.
+        assert!(report.breakdown.checkpoint_ps > 0);
         let snap = report.latest_snapshot.as_ref().unwrap();
         assert_eq!(snap.len() as u64, report.checkpoints.last().unwrap().bytes);
         // The snapshot is a valid v2 container a fresh model can load.
@@ -752,21 +1213,18 @@ mod tests {
             seed: 17,
             checkpoint: Some(CheckpointPolicy::every(100)),
         };
-        let outcome = train_data_parallel_faulted(
-            &cfg,
-            &ds,
-            |s| mlp(s, 8, 4),
-            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
-            SoftmaxCrossEntropy,
-            Some(FaultPlan { rank: 1, at_step: 2 }),
-        );
-        match outcome {
-            TrainOutcome::Interrupted { failure, snapshot } => {
-                assert_eq!(failure, RankKilled { rank: 1, at_step: 2 });
-                assert!(snapshot.is_none(), "no checkpoint could have been taken");
-            }
-            TrainOutcome::Completed(_) => panic!("fault at step 2 must interrupt the run"),
-        }
+        let outcome = Trainer::new(cfg)
+            .fault(FaultPlan { rank: 1, at_step: 2 })
+            .run(
+                &ds,
+                |s| mlp(s, 8, 4),
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            .expect("no snapshot to validate");
+        let (failure, snapshot) = outcome.interrupted();
+        assert_eq!(failure, RankKilled { rank: 1, at_step: 2 });
+        assert!(snapshot.is_none(), "no checkpoint could have been taken");
     }
 
     #[test]
@@ -782,15 +1240,166 @@ mod tests {
             seed: 19,
             checkpoint: None,
         };
+        let outcome = Trainer::new(cfg)
+            .fault_opt(None)
+            .run(
+                &ds,
+                |s| mlp(s, 8, 4),
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            .expect("no snapshot to validate");
+        assert!(matches!(outcome, TrainOutcome::Completed(_)));
+    }
+
+    #[test]
+    fn breakdown_sums_to_virtual_wall_and_scales_with_steps() {
+        let ds = toy_dataset(128, 8, 4, 29);
+        let run = |epochs: usize| {
+            let cfg = TrainConfig {
+                workers: 2,
+                epochs,
+                batch_per_worker: 16,
+                base_lr: 0.05,
+                lr_scaling: true,
+                warmup_epochs: 1,
+                seed: 29,
+                checkpoint: None,
+            };
+            Trainer::new(cfg)
+                .run(
+                    &ds,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+        };
+        let one = run(1);
+        let two = run(2);
+        for r in [&one, &two] {
+            assert_eq!(r.breakdown.total_ps(), r.sim_wall_ps);
+            assert_eq!(
+                r.epoch_breakdown.iter().map(|e| e.phases.total_ps()).sum::<u64>(),
+                r.sim_wall_ps,
+                "epoch rollups must partition the run"
+            );
+            assert!(r.breakdown.stage_ps > 0);
+            assert!(r.breakdown.compute_ps > 0);
+            assert!(r.breakdown.allreduce_ps > 0);
+            assert_eq!(r.breakdown.checkpoint_ps, 0, "no checkpoint policy armed");
+        }
+        // Twice the epochs ⇒ exactly twice the per-epoch work here (the
+        // shard/batch geometry is identical every epoch).
+        assert_eq!(two.epoch_breakdown.len(), 2);
+        assert!(two.sim_wall_ps > one.sim_wall_ps);
+    }
+
+    #[test]
+    fn recorder_collects_per_rank_phases_and_traffic() {
+        let ds = toy_dataset(128, 8, 4, 31);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 2,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 31,
+            checkpoint: Some(CheckpointPolicy::every(3)),
+        };
+        let reg = Arc::new(MetricsRegistry::new());
+        let report = Trainer::new(cfg)
+            .recorder(Arc::clone(&reg))
+            .tag("t")
+            .run(
+                &ds,
+                |s| mlp(s, 8, 4),
+                |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                SoftmaxCrossEntropy,
+            )
+            .expect("no snapshot to validate")
+            .completed();
+        let snap = reg.snapshot();
+        // Rank 0's recorded phase totals match the report's breakdown.
+        assert_eq!(
+            snap.get("trainer.phase.compute.time{rank=0,run=t}")
+                .and_then(|v| v.as_time_ps()),
+            Some(report.breakdown.compute_ps)
+        );
+        assert_eq!(
+            snap.get("trainer.sim_wall{rank=0,run=t}").and_then(|v| v.as_time_ps()),
+            Some(report.sim_wall_ps)
+        );
+        // Both ranks report steps and allreduce traffic.
+        for rank in 0..2 {
+            assert_eq!(
+                snap.get(&format!("trainer.steps{{rank={rank},run=t}}"))
+                    .and_then(|v| v.as_counter()),
+                Some(report.steps_per_rank as u64)
+            );
+            assert!(
+                snap.get(&format!("net.comm.bytes_sent{{op=allreduce,rank={rank},run=t}}"))
+                    .and_then(|v| v.as_counter())
+                    .unwrap_or(0)
+                    > 0,
+                "collective traffic must be attributed"
+            );
+        }
+        // Epoch rollups partition the virtual wall.
+        assert_eq!(snap.time_ps_with_prefix("trainer.epoch.time{"), report.sim_wall_ps);
+        assert_eq!(
+            snap.get("trainer.checkpoints{rank=0,run=t}").and_then(|v| v.as_counter()),
+            Some(report.checkpoints.len() as u64)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_forward() {
+        let ds = toy_dataset(96, 8, 4, 37);
+        let cfg = TrainConfig {
+            workers: 2,
+            epochs: 2,
+            batch_per_worker: 16,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 37,
+            checkpoint: Some(CheckpointPolicy::every(2)),
+        };
+        let opt_fn = |lr: f32| -> Box<dyn Optimizer> { Box::new(Sgd::new(lr, 0.9, 0.0)) };
+        let report =
+            train_data_parallel(&cfg, &ds, |s| mlp(s, 8, 4), opt_fn, SoftmaxCrossEntropy);
+        let via_builder = Trainer::new(cfg.clone())
+            .run(&ds, |s| mlp(s, 8, 4), opt_fn, SoftmaxCrossEntropy)
+            .expect("no snapshot to validate")
+            .completed();
+        assert_eq!(report.final_params, via_builder.final_params);
+
         let outcome = train_data_parallel_faulted(
             &cfg,
             &ds,
             |s| mlp(s, 8, 4),
-            |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+            opt_fn,
             SoftmaxCrossEntropy,
-            None,
+            Some(FaultPlan { rank: 0, at_step: 3 }),
         );
-        assert!(matches!(outcome, TrainOutcome::Completed(_)));
+        let (_, snapshot) = outcome.interrupted();
+        let snap = snapshot.expect("checkpoint at step 2 precedes the kill at 3");
+        let resumed = resume_from_snapshot(
+            &cfg,
+            &ds,
+            |s| mlp(s, 8, 4),
+            opt_fn,
+            SoftmaxCrossEntropy,
+            &snap,
+            None,
+        )
+        .expect("snapshot validates")
+        .completed();
+        assert_eq!(resumed.final_params, report.final_params, "resume is bit-exact");
     }
 
     #[test]
@@ -807,13 +1416,10 @@ mod tests {
             checkpoint: Some(CheckpointPolicy::every(3)),
         };
         let opt_fn = |lr: f32| -> Box<dyn Optimizer> { Box::new(Sgd::new(lr, 0.9, 0.0)) };
-        let report = train_data_parallel(
-            &cfg,
-            &ds,
-            |s| mlp(s, 8, 4),
-            opt_fn,
-            SoftmaxCrossEntropy,
-        );
+        let report = Trainer::new(cfg.clone())
+            .run(&ds, |s| mlp(s, 8, 4), opt_fn, SoftmaxCrossEntropy)
+            .expect("no snapshot to validate")
+            .completed();
         let snap = report.latest_snapshot.unwrap();
 
         let wrong_workers = TrainConfig {
@@ -821,14 +1427,11 @@ mod tests {
             ..cfg.clone()
         };
         assert!(matches!(
-            resume_from_snapshot(
-                &wrong_workers,
+            Trainer::new(wrong_workers).resume(&snap).run(
                 &ds,
                 |s| mlp(s, 8, 4),
                 opt_fn,
-                SoftmaxCrossEntropy,
-                &snap,
-                None
+                SoftmaxCrossEntropy
             ),
             Err(CheckpointError::ConfigMismatch { what: "workers", .. })
         ));
@@ -837,14 +1440,11 @@ mod tests {
             ..cfg.clone()
         };
         assert!(matches!(
-            resume_from_snapshot(
-                &wrong_seed,
+            Trainer::new(wrong_seed).resume(&snap).run(
                 &ds,
                 |s| mlp(s, 8, 4),
                 opt_fn,
-                SoftmaxCrossEntropy,
-                &snap,
-                None
+                SoftmaxCrossEntropy
             ),
             Err(CheckpointError::ConfigMismatch { what: "seed", .. })
         ));
@@ -853,14 +1453,11 @@ mod tests {
             ..cfg.clone()
         };
         assert!(matches!(
-            resume_from_snapshot(
-                &wrong_lr,
+            Trainer::new(wrong_lr).resume(&snap).run(
                 &ds,
                 |s| mlp(s, 8, 4),
                 opt_fn,
-                SoftmaxCrossEntropy,
-                &snap,
-                None
+                SoftmaxCrossEntropy
             ),
             Err(CheckpointError::ConfigMismatch {
                 what: "effective lr bits",
@@ -871,14 +1468,11 @@ mod tests {
         // not a resume.
         let bare = serialize::save(&mlp(cfg.seed, 8, 4));
         assert!(matches!(
-            resume_from_snapshot(
-                &cfg,
+            Trainer::new(cfg).resume(&bare).run(
                 &ds,
                 |s| mlp(s, 8, 4),
                 opt_fn,
-                SoftmaxCrossEntropy,
-                &bare,
-                None
+                SoftmaxCrossEntropy
             ),
             Err(CheckpointError::BadProgress(_))
         ));

@@ -17,6 +17,7 @@
 //! below cannot deadlock.
 
 use crate::comm::PointToPoint;
+use crate::stats::CollectiveOp;
 
 /// Splits `len` elements into `parts` contiguous ranges as evenly as
 /// possible (first `len % parts` ranges get one extra element).
@@ -47,6 +48,7 @@ pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
     if p == 1 || buf.is_empty() {
         return;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Allreduce));
     let rank = c.rank();
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;
@@ -84,6 +86,7 @@ pub fn recursive_doubling_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [
     if p == 1 || buf.is_empty() {
         return;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::RecursiveDoubling));
     let rank = c.rank();
     let p2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
     let rem = p - p2;
@@ -128,6 +131,7 @@ pub fn binomial_broadcast<C: PointToPoint + ?Sized>(c: &C, buf: &mut Vec<f32>, r
     if p == 1 {
         return;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Broadcast));
     let rank = c.rank();
     let vrank = (rank + p - root) % p;
 
@@ -157,6 +161,7 @@ pub fn tree_reduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize
     if p == 1 {
         return;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Reduce));
     let rank = c.rank();
     let vrank = (rank + p - root) % p;
 
@@ -189,6 +194,7 @@ pub fn ring_allgather<C: PointToPoint + ?Sized>(c: &C, mine: &[f32]) -> Vec<Vec<
     if p == 1 {
         return blocks;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Allgather));
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;
     for s in 0..p - 1 {
@@ -207,6 +213,7 @@ pub fn dissemination_barrier<C: PointToPoint + ?Sized>(c: &C) {
     if p == 1 {
         return;
     }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Barrier));
     let rank = c.rank();
     let mut dist = 1;
     while dist < p {

@@ -7,6 +7,7 @@
 //! transport only has to implement `send`/`recv`.
 
 use crate::collectives;
+use crate::stats::CommStats;
 
 /// Minimal reliable, ordered, tagged point-to-point transport between
 /// `size()` ranks.
@@ -23,6 +24,15 @@ pub trait PointToPoint {
     /// Receives the next message from rank `from` (blocking, FIFO per
     /// sender).
     fn recv(&self, from: usize) -> Vec<f32>;
+
+    /// The endpoint's traffic counters, when it keeps any. Transports
+    /// that do ([`crate::ThreadComm`]) call
+    /// [`CommStats::on_send`]/[`CommStats::on_recv`] themselves; the
+    /// collective defaults below use this hook only to open per-op
+    /// attribution scopes. Defaults to `None` (unobserved transport).
+    fn stats(&self) -> Option<&CommStats> {
+        None
+    }
 }
 
 /// MPI-style collectives over a point-to-point transport.

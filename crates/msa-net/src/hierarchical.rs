@@ -57,6 +57,13 @@ impl<C: PointToPoint + ?Sized> PointToPoint for GroupComm<'_, C> {
     fn recv(&self, from: usize) -> Vec<f32> {
         self.parent.recv(self.members[from])
     }
+
+    fn stats(&self) -> Option<&crate::stats::CommStats> {
+        // Group traffic flows through (and is counted by) the parent
+        // endpoint; forwarding keeps collective attribution working for
+        // the hierarchical phases.
+        self.parent.stats()
+    }
 }
 
 /// Two-level allreduce: ranks are grouped into "nodes" of

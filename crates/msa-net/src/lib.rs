@@ -19,6 +19,7 @@ pub mod comm;
 pub mod cost;
 pub mod fabric;
 pub mod hierarchical;
+pub mod stats;
 pub mod thread_comm;
 
 pub use barrier::SenseBarrier;
@@ -26,4 +27,5 @@ pub use comm::{Communicator, PointToPoint};
 pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};
 pub use cost::{CollectiveAlgo, LinkParams};
 pub use fabric::{simulate as simulate_fabric, FatTree, Flow, FlowResult};
-pub use thread_comm::{FaultPlan, RankKilled, ThreadComm};
+pub use stats::{CollectiveOp, CommStats, CommStatsSnapshot, OpTotals};
+pub use thread_comm::{CommOptions, FaultPlan, RankKilled, ThreadComm};

@@ -4,6 +4,8 @@
 //! [`crate::collectives`] then run *for real* over these channels.
 
 use crate::comm::PointToPoint;
+use crate::cost::LinkParams;
+use crate::stats::CommStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// Deterministic fault injection: "kill rank `rank` at step `at_step`".
@@ -40,6 +42,56 @@ impl std::fmt::Display for RankKilled {
 
 impl std::error::Error for RankKilled {}
 
+/// Everything configurable about a communicator, in one place: the
+/// armed fault plan and the link model traffic statistics are priced
+/// against. This is the single entry point that replaced the
+/// `create`/`create_with_fault` and `run`/`run_with_fault` pairs.
+///
+/// ```
+/// use msa_net::{CommOptions, FaultPlan, ThreadComm};
+///
+/// let opts = CommOptions::new().fault(FaultPlan { rank: 1, at_step: 3 });
+/// let outs = ThreadComm::run_with(2, &opts, |c| c.poll_fault(5).is_err());
+/// assert_eq!(outs, vec![true, true]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommOptions {
+    /// Deterministic fault to arm, if any.
+    pub fault: Option<FaultPlan>,
+    /// Link model for [`CommStats`] receive pricing; `None` uses
+    /// [`LinkParams::extoll`] (the DEEP federation fabric).
+    pub link: Option<LinkParams>,
+}
+
+impl CommOptions {
+    /// Defaults: no fault, EXTOLL link model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a deterministic [`FaultPlan`].
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Arms a fault only when `plan` is `Some` (migration convenience).
+    pub fn fault_opt(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Sets the link model used to price recorded traffic.
+    pub fn link(mut self, link: LinkParams) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    fn link_or_default(&self) -> LinkParams {
+        self.link.unwrap_or_else(LinkParams::extoll)
+    }
+}
+
 /// One endpoint of an `n`-way in-process communicator.
 ///
 /// Create the full set with [`ThreadComm::create`] and move each endpoint
@@ -72,24 +124,36 @@ pub struct ThreadComm {
     receivers: Vec<Receiver<Vec<f32>>>,
     /// Armed fault, shared (by value) across all endpoints.
     fault: Option<FaultPlan>,
+    /// Per-endpoint traffic counters (always on; relaxed atomics).
+    stats: CommStats,
 }
 
 impl ThreadComm {
-    /// Builds `n` fully-connected endpoints. `n` must be ≥ 1.
+    /// Builds `n` fully-connected endpoints with default
+    /// [`CommOptions`]. `n` must be ≥ 1.
     pub fn create(n: usize) -> Vec<ThreadComm> {
-        Self::create_with_fault(n, None)
+        Self::create_with(n, &CommOptions::new())
     }
 
     /// Builds `n` endpoints with an optional armed [`FaultPlan`].
+    #[deprecated(note = "use ThreadComm::create_with(n, &CommOptions::new().fault_opt(fault))")]
     pub fn create_with_fault(n: usize, fault: Option<FaultPlan>) -> Vec<ThreadComm> {
+        Self::create_with(n, &CommOptions::new().fault_opt(fault))
+    }
+
+    /// Builds `n` fully-connected endpoints configured by `opts` — the
+    /// single constructor everything else forwards to.
+    pub fn create_with(n: usize, opts: &CommOptions) -> Vec<ThreadComm> {
         assert!(n >= 1, "communicator needs at least one rank");
-        if let Some(plan) = fault {
+        if let Some(plan) = opts.fault {
             assert!(
                 plan.rank < n,
                 "fault plan kills rank {} of a {n}-way communicator",
                 plan.rank
             );
         }
+        let fault = opts.fault;
+        let link = opts.link_or_default();
         // One row of channels per *sender* i, transposing the receiver
         // ends as we go so that rank j ends up owning
         // `receivers[from] = row[from][j]` — no placeholder `Option`s.
@@ -113,29 +177,42 @@ impl ThreadComm {
                 senders,
                 receivers,
                 fault,
+                stats: CommStats::new(link),
             })
             .collect()
     }
 
-    /// Runs `f` on every rank of a fresh `n`-way communicator in parallel
-    /// and returns the per-rank results in rank order. Convenience wrapper
-    /// used heavily by tests and `distrib`.
+    /// Runs `f` on every rank of a fresh `n`-way communicator (default
+    /// [`CommOptions`]) in parallel and returns the per-rank results in
+    /// rank order. Convenience wrapper used heavily by tests and
+    /// `distrib`.
     pub fn run<R, F>(n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&ThreadComm) -> R + Sync,
     {
-        Self::run_with_fault(n, None, f)
+        Self::run_with(n, &CommOptions::new(), f)
     }
 
     /// [`ThreadComm::run`] with an optional armed [`FaultPlan`]; the
     /// closure observes the fault through [`ThreadComm::poll_fault`].
+    #[deprecated(note = "use ThreadComm::run_with(n, &CommOptions::new().fault_opt(fault), f)")]
     pub fn run_with_fault<R, F>(n: usize, fault: Option<FaultPlan>, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&ThreadComm) -> R + Sync,
     {
-        let comms = ThreadComm::create_with_fault(n, fault);
+        Self::run_with(n, &CommOptions::new().fault_opt(fault), f)
+    }
+
+    /// Runs `f` on every rank of a fresh `n`-way communicator configured
+    /// by `opts` — the single runner everything else forwards to.
+    pub fn run_with<R, F>(n: usize, opts: &CommOptions, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::create_with(n, opts);
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .iter()
@@ -175,6 +252,7 @@ impl PointToPoint for ThreadComm {
 
     fn send(&self, to: usize, data: Vec<f32>) {
         assert!(to < self.size && to != self.rank, "invalid peer {to}");
+        self.stats.on_send(data.len() * std::mem::size_of::<f32>());
         // Unbounded channel: never blocks; peer death is a test bug.
         self.senders[to]
             .send(data)
@@ -184,10 +262,17 @@ impl PointToPoint for ThreadComm {
 
     fn recv(&self, from: usize) -> Vec<f32> {
         assert!(from < self.size && from != self.rank, "invalid peer {from}");
-        self.receivers[from]
+        let data = self
+            .receivers[from]
             .recv()
             // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
-            .expect("peer endpoint dropped while communicator in use")
+            .expect("peer endpoint dropped while communicator in use");
+        self.stats.on_recv(data.len() * std::mem::size_of::<f32>());
+        data
+    }
+
+    fn stats(&self) -> Option<&CommStats> {
+        Some(&self.stats)
     }
 }
 
@@ -341,7 +426,7 @@ mod tests {
     #[test]
     fn fault_fires_on_every_rank_at_the_same_step() {
         let plan = FaultPlan { rank: 2, at_step: 5 };
-        let out = ThreadComm::run_with_fault(4, Some(plan), |c| {
+        let out = ThreadComm::run_with(4, &CommOptions::new().fault(plan), |c| {
             for step in 0..10u64 {
                 if let Err(killed) = c.poll_fault(step) {
                     assert_eq!(killed, RankKilled { rank: 2, at_step: 5 });
@@ -366,7 +451,69 @@ mod tests {
     #[test]
     #[should_panic(expected = "fault plan kills rank")]
     fn out_of_range_fault_rank_rejected() {
-        let _ = ThreadComm::create_with_fault(2, Some(FaultPlan { rank: 2, at_step: 0 }));
+        let _ = ThreadComm::create_with(
+            2,
+            &CommOptions::new().fault(FaultPlan { rank: 2, at_step: 0 }),
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_names_still_forward() {
+        // The old entry points must keep working until callers migrate.
+        let plan = FaultPlan { rank: 0, at_step: 2 };
+        let out = ThreadComm::run_with_fault(2, Some(plan), |c| c.poll_fault(3).is_err());
+        assert_eq!(out, vec![true, true]);
+        let comms = ThreadComm::create_with_fault(2, None);
+        assert_eq!(comms.len(), 2);
+        assert!(comms[0].poll_fault(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn endpoint_stats_count_collective_traffic() {
+        use crate::stats::CollectiveOp;
+
+        let per_rank = ThreadComm::run(4, |c| {
+            let mut buf = vec![c.rank() as f32; 8];
+            c.allreduce_sum(&mut buf);
+            c.barrier();
+            c.stats().map(|s| s.export())
+        });
+        for (rank, snap) in per_rank.iter().enumerate() {
+            let snap = snap.as_ref().expect("ThreadComm always keeps stats");
+            let ar = snap.op(CollectiveOp::Allreduce);
+            // Ring over p=4: 2(p−1) = 6 messages each way per rank.
+            assert_eq!(ar.msgs_sent, 6, "rank {rank}");
+            assert_eq!(ar.msgs_recv, 6, "rank {rank}");
+            // 8 f32s split into 4 chunks of 2 → every message is 8 bytes.
+            assert_eq!(ar.bytes_sent, 48, "rank {rank}");
+            assert!(ar.wait_ps > 0);
+            // Barrier traffic is attributed separately, zero-byte payloads.
+            let b = snap.op(CollectiveOp::Barrier);
+            assert_eq!(b.msgs_sent, 2);
+            assert_eq!(b.bytes_sent, 0);
+            // Nothing leaked into the p2p slot.
+            assert_eq!(snap.op(CollectiveOp::P2p), Default::default());
+        }
+    }
+
+    #[test]
+    fn options_link_prices_recorded_wait() {
+        use crate::cost::LinkParams;
+        use crate::stats::CollectiveOp;
+
+        let link = LinkParams::nvlink3();
+        let out = ThreadComm::run_with(2, &CommOptions::new().link(link), |c| {
+            let mut buf = vec![1.0f32; 100];
+            c.allreduce_sum(&mut buf);
+            c.stats().map(|s| s.export())
+        });
+        // p=2 ring: 2 recvs of one 50-element (200-byte) chunk each.
+        let want = 2 * msa_obs::simtime_to_ps(link.p2p(200.0));
+        for snap in out {
+            let snap = snap.expect("stats always present");
+            assert_eq!(snap.op(CollectiveOp::Allreduce).wait_ps, want);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use msa_core::energy::PowerModel;
 use msa_core::module::ModuleId;
 use msa_core::system::MsaSystem;
 use msa_core::{EventEngine, SimTime};
+use msa_obs::{key, simtime_to_ps, Recorder};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -27,6 +28,54 @@ pub struct ScheduleReport {
     pub busy_node_secs: Vec<f64>,
     /// Jobs that were backfilled past the queue head.
     pub backfilled: usize,
+}
+
+impl ScheduleReport {
+    /// Per-module utilization: busy node-seconds over available
+    /// node-seconds (`node_count × makespan`), one entry per module of
+    /// the system the report was produced on. Zero-makespan reports
+    /// (empty traces) report zero everywhere.
+    pub fn module_utilization(&self, sys: &MsaSystem) -> Vec<f64> {
+        let span = self.makespan.as_secs();
+        sys.modules
+            .iter()
+            .zip(&self.busy_node_secs)
+            .map(|(m, &busy)| {
+                let capacity = m.node_count as f64 * span;
+                if capacity > 0.0 {
+                    busy / capacity
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Dumps the report into an [`msa_obs::Recorder`]: makespan, mean
+    /// wait, job/backfill counts, energy, and per-module busy time and
+    /// utilization (labelled with the module's short code).
+    pub fn record_into(&self, rec: &dyn Recorder, sys: &MsaSystem, labels: &[(&str, &str)]) {
+        rec.time_ps(&key("sched.makespan", labels), simtime_to_ps(self.makespan));
+        rec.time_ps(&key("sched.mean_wait", labels), simtime_to_ps(self.mean_wait));
+        rec.add(&key("sched.jobs", labels), self.outcomes.len() as u64);
+        rec.add(&key("sched.backfilled", labels), self.backfilled as u64);
+        rec.gauge(&key("sched.energy_kwh", labels), self.total_energy_kwh);
+        for ((module, &busy), util) in sys
+            .modules
+            .iter()
+            .zip(&self.busy_node_secs)
+            .zip(self.module_utilization(sys))
+        {
+            let mut ml: Vec<(&str, &str)> = labels.to_vec();
+            let code = module.kind.code();
+            ml.push(("module", code));
+            rec.time_ps(
+                &key("sched.module.busy", &ml),
+                simtime_to_ps(SimTime::from_secs(busy)),
+            );
+            rec.gauge(&key("sched.module.utilization", &ml), util);
+        }
+    }
 }
 
 struct Ctx {
@@ -328,6 +377,36 @@ mod tests {
         assert!(o[2].start < o[1].start, "tiny job should backfill");
         assert_eq!(o[1].start, o[0].end, "head must start when j0 frees");
         assert!(rep.backfilled >= 1);
+    }
+
+    #[test]
+    fn report_records_utilization_metrics() {
+        let sys = presets::deep();
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| job(i, WorkloadClass::DlTraining, 4, i as f64))
+            .collect();
+        let rep = schedule(&sys, &jobs, &MsaPlacement);
+        let utils = rep.module_utilization(&sys);
+        assert_eq!(utils.len(), sys.modules.len());
+        assert!(utils.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(utils.iter().any(|&u| u > 0.0), "DL jobs must occupy a module");
+
+        let reg = msa_obs::MetricsRegistry::new();
+        rep.record_into(&reg, &sys, &[("trace", "t")]);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("sched.makespan{trace=t}").and_then(|v| v.as_time_ps()),
+            Some(simtime_to_ps(rep.makespan))
+        );
+        assert_eq!(
+            snap.get("sched.jobs{trace=t}").and_then(|v| v.as_counter()),
+            Some(6)
+        );
+        // One utilization gauge per module, labelled by its code.
+        for m in &sys.modules {
+            let k = format!("sched.module.utilization{{module={},trace=t}}", m.kind.code());
+            assert!(snap.get(&k).is_some(), "missing {k}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! experiment E9.
 
 use msa_core::SimTime;
+use msa_obs::{key, simtime_to_ps, Recorder};
 
 /// The external data source (e.g. the Copernicus/BigEarthNet archive or
 /// a B2DROP share): a single shared wide-area link.
@@ -154,6 +155,23 @@ impl StagingPlan {
         }
     }
 
+    /// Dumps the plan into an [`msa_obs::Recorder`]: staging time and
+    /// WAN traffic, labelled by strategy.
+    pub fn record_into(&self, rec: &dyn Recorder, labels: &[(&str, &str)]) {
+        let strategy = match self.strategy {
+            StagingStrategy::DuplicateDownloads => "duplicate",
+            StagingStrategy::SharedViaNam => "nam",
+        };
+        let mut sl: Vec<(&str, &str)> = labels.to_vec();
+        sl.push(("strategy", strategy));
+        rec.time_ps(&key("storage.staging.time", &sl), simtime_to_ps(self.time));
+        // WAN traffic in whole bytes: exact for any GiB-granular dataset,
+        // and integer counters merge deterministically.
+        let wan_bytes = (self.wan_traffic_gib * 1024.0 * 1024.0 * 1024.0).round() as u64;
+        rec.add(&key("storage.staging.wan_bytes", &sl), wan_bytes);
+        rec.add(&key("storage.staging.plans", &sl), 1);
+    }
+
     /// Evaluates both strategies and returns `(duplicate, shared)`;
     /// fails if the shared path cannot hold the dataset.
     pub fn compare(
@@ -201,6 +219,32 @@ mod tests {
         );
         assert_eq!(shared.wan_traffic_gib, 100.0);
         assert_eq!(dup.wan_traffic_gib, 6400.0);
+    }
+
+    #[test]
+    fn staging_plans_record_labelled_metrics() {
+        let archive = ArchiveLink::site_uplink();
+        let nam = Nam::deep_prototype();
+        let (dup, shared) = StagingPlan::compare(100.0, 64, &archive, &nam, 12.5).unwrap();
+        let reg = msa_obs::MetricsRegistry::new();
+        dup.record_into(&reg, &[("dataset", "bigearth")]);
+        shared.record_into(&reg, &[("dataset", "bigearth")]);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("storage.staging.wan_bytes{dataset=bigearth,strategy=duplicate}")
+                .and_then(|v| v.as_counter()),
+            Some(6400 * 1024 * 1024 * 1024)
+        );
+        assert_eq!(
+            snap.get("storage.staging.time{dataset=bigearth,strategy=nam}")
+                .and_then(|v| v.as_time_ps()),
+            Some(simtime_to_ps(shared.time))
+        );
+        assert_eq!(
+            snap.get("storage.staging.plans{dataset=bigearth,strategy=nam}")
+                .and_then(|v| v.as_counter()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -37,17 +37,21 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(findings) if findings.is_empty() => {
+            // lint: allow(print) -- CLI status on stderr
             eprintln!("msa-lint: clean");
             ExitCode::SUCCESS
         }
         Ok(findings) => {
             for f in &findings {
+                // lint: allow(print) -- CLI finding report on stdout
                 println!("{f}");
             }
+            // lint: allow(print) -- CLI status on stderr
             eprintln!("msa-lint: {} finding(s)", findings.len());
             ExitCode::from(1)
         }
         Err(e) => {
+            // lint: allow(print) -- CLI diagnostic on stderr
             eprintln!("msa-lint: I/O error: {e}");
             ExitCode::from(2)
         }

@@ -1,6 +1,6 @@
 //! `msa-lint`: a dependency-free source scanner enforcing workspace
 //! invariants that rustc/clippy cannot express (or that we do not want to
-//! gate on a nightly toolchain). Four rules:
+//! gate on a nightly toolchain). Five rules:
 //!
 //! | rule              | scope                     | invariant |
 //! |-------------------|---------------------------|-----------|
@@ -8,6 +8,7 @@
 //! | `thread-spawn`    | all but `msa-net`, `bench`| no `std::thread::spawn`; concurrency goes through the comm/runtime layers |
 //! | `float-eq`        | `ml`, `nn`, `tensor`      | no `==` / `!=` against float literals; numeric code compares with tolerances |
 //! | `pub-event-field` | `msa-core/src/event.rs`   | event structs keep fields private so invariants hold at construction |
+//! | `print`           | every crate               | no `println!`/`eprintln!` in non-test library code; observability goes through `msa-obs` recorders. CLI binaries justify each print with an allow |
 //!
 //! Findings print as `file:line: rule — message` and the binary exits
 //! nonzero when any survive. A finding is suppressed by a same-line (or
@@ -62,6 +63,7 @@ pub struct Profile {
     pub thread_spawn: bool,
     pub float_eq: bool,
     pub pub_event_field: bool,
+    pub print: bool,
 }
 
 impl Profile {
@@ -71,6 +73,7 @@ impl Profile {
             thread_spawn: true,
             float_eq: true,
             pub_event_field: true,
+            print: true,
         }
     }
 
@@ -85,6 +88,10 @@ impl Profile {
             thread_spawn: !matches!(crate_name, "msa-net" | "bench"),
             float_eq: matches!(crate_name, "ml" | "nn" | "tensor"),
             pub_event_field: is_event_file,
+            // Metrics and traces go through msa-obs recorders so runs stay
+            // deterministic and machine-readable; stdout is for CLI
+            // binaries only, and those justify each print with an allow.
+            print: true,
         }
     }
 }
@@ -551,6 +558,29 @@ pub fn lint_source(file: &str, source: &str, profile: &Profile) -> Vec<Finding> 
             }
         }
 
+        if profile.print && !in_test {
+            for needle in ["println!", "print!", "eprintln!", "eprint!"] {
+                for (pos, _) in line.match_indices(needle) {
+                    // Ident-boundary guard: `eprintln!` contains `println!`
+                    // and a user macro like `my_print!` must not fire.
+                    let bounded = pos == 0
+                        || !is_ident_char(line.as_bytes()[pos - 1] as char);
+                    if bounded {
+                        push(
+                            &mut findings,
+                            &mut used_allows,
+                            idx,
+                            "print",
+                            format!(
+                                "`{needle}` in non-test code; record through an \
+                                 `msa_obs::Recorder` (or justify CLI output with an allow)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
         if profile.thread_spawn && line.contains("thread::spawn") {
             push(
                 &mut findings,
@@ -816,15 +846,41 @@ mod tests {
     }
 
     #[test]
+    fn print_in_library_code_is_reported() {
+        let src = "fn f() {\n    println!(\"hi\");\n}\n";
+        let fs = strict(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "print");
+        assert_eq!(fs[0].line, 2);
+        assert_eq!(rules("fn f() { eprint!(\"x\"); }\n"), vec!["print"]);
+        // eprintln! is one finding, not two (the embedded `println!` is
+        // preceded by an ident char).
+        assert_eq!(rules("fn f() { eprintln!(\"x\"); }\n"), vec!["print"]);
+    }
+
+    #[test]
+    fn print_lookalikes_and_test_code_are_exempt() {
+        // User macros and write!-family macros are not prints.
+        assert!(strict("fn f() { my_println!(\"x\"); }\n").is_empty());
+        assert!(strict("fn f(w: &mut W) { writeln!(w, \"x\").ok(); }\n").is_empty());
+        // Prints in test regions are debugging aids, not observability.
+        assert!(strict("#[test]\nfn t() { println!(\"dbg\"); }\n").is_empty());
+        // A justified allow lets CLI binaries print.
+        let src = "fn f() {\n    // lint: allow(print) -- CLI status output\n    println!(\"ok\");\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
     fn profile_matrix_matches_spec() {
         let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/comm.rs"));
         assert!(!p.thread_spawn);
         assert!(p.unwrap && !p.float_eq && !p.pub_event_field);
+        assert!(p.print);
         let p = Profile::for_crate("ml", Path::new("crates/ml/src/svm.rs"));
-        assert!(p.float_eq && p.thread_spawn);
+        assert!(p.float_eq && p.thread_spawn && p.print);
         let p = Profile::for_crate("msa-core", Path::new("crates/msa-core/src/event.rs"));
         assert!(p.pub_event_field);
         let p = Profile::for_crate("msa-core", Path::new("crates/msa-core/src/hw.rs"));
-        assert!(!p.pub_event_field);
+        assert!(!p.pub_event_field && p.print);
     }
 }

@@ -87,6 +87,15 @@ fn pub_event_fields_are_flagged() {
 }
 
 #[test]
+fn println_in_library_code_is_flagged() {
+    let stdout = findings_for(
+        "print",
+        "pub fn f(n: usize) {\n    println!(\"{n} steps\");\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: print"), "{stdout}");
+}
+
+#[test]
 fn unjustified_allow_does_not_suppress() {
     let stdout = findings_for(
         "badallow",
@@ -107,6 +116,11 @@ fn one_fixture_per_banned_pattern_all_reported_together() {
             "event.rs",
             "pub struct TickEvent {\n    pub t: f64,\n}\n",
             "pub-event-field",
+        ),
+        (
+            "print.rs",
+            "pub fn f() { eprintln!(\"progress\"); }\n",
+            "print",
         ),
     ];
     for (name, source, _) in &cases {

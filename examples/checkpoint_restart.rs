@@ -9,7 +9,7 @@
 //! 2. a deterministic [`FaultPlan`] kills a rank mid-epoch — synchronous
 //!    SGD is all-or-nothing, so every rank aborts at the same lock-step
 //!    boundary and the job returns its last snapshot;
-//! 3. [`resume_from_snapshot`] restarts from that snapshot and finishes
+//! 3. `Trainer::new(cfg).resume(&snapshot)` restarts from it and finishes
 //!    **bit-identical** to a run that was never killed (asserted below),
 //!    then the real snapshot size feeds the Young–Daly analysis and the
 //!    failure-injection simulator comparing the NAM against the parallel
@@ -20,10 +20,7 @@
 //! ```
 
 use msa_suite::data::bigearth::{self, BigEarthConfig};
-use msa_suite::distrib::{
-    resume_from_snapshot, train_data_parallel, train_data_parallel_faulted, CheckpointPolicy,
-    TrainConfig, TrainOutcome,
-};
+use msa_suite::distrib::{CheckpointPolicy, TrainConfig, TrainOutcome, Trainer};
 use msa_suite::msa_core::SimTime;
 use msa_suite::msa_net::FaultPlan;
 use msa_suite::msa_storage::{simulate_failures, CheckpointTarget, YoungDaly};
@@ -59,7 +56,10 @@ fn main() {
     };
 
     // The run nothing happens to, for comparison.
-    let reference = train_data_parallel(&cfg, &ds, model_fn, opt_fn, SoftmaxCrossEntropy);
+    let reference = Trainer::new(cfg.clone())
+        .run(&ds, model_fn, opt_fn, SoftmaxCrossEntropy)
+        .expect("no resume snapshot")
+        .completed();
     println!(
         "reference run: {} epochs, {} steps/rank, {} checkpoints, final loss {:.4}",
         reference.epochs.len(),
@@ -73,8 +73,10 @@ fn main() {
         rank: 1,
         at_step: 10,
     };
-    let outcome =
-        train_data_parallel_faulted(&cfg, &ds, model_fn, opt_fn, SoftmaxCrossEntropy, Some(fault));
+    let outcome = Trainer::new(cfg.clone())
+        .fault(fault)
+        .run(&ds, model_fn, opt_fn, SoftmaxCrossEntropy)
+        .expect("no resume snapshot");
     let TrainOutcome::Interrupted { failure, snapshot } = outcome else {
         panic!("armed fault must interrupt the run");
     };
@@ -85,16 +87,10 @@ fn main() {
     );
 
     // Resume and finish the job.
-    let resumed = resume_from_snapshot(
-        &cfg,
-        &ds,
-        model_fn,
-        opt_fn,
-        SoftmaxCrossEntropy,
-        &snapshot,
-        None,
-    )
-    .expect("snapshot matches the config");
+    let resumed = Trainer::new(cfg.clone())
+        .resume(&snapshot)
+        .run(&ds, model_fn, opt_fn, SoftmaxCrossEntropy)
+        .expect("snapshot matches the config");
     let TrainOutcome::Completed(resumed) = resumed else {
         panic!("resumed run has no fault armed");
     };

@@ -10,7 +10,7 @@
 
 use msa_suite::data::cxr::{self, CxrConfig};
 use msa_suite::data::{accuracy, Dataset};
-use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::distrib::{evaluate_classifier, ScalingModel, TrainConfig, Trainer};
 use msa_suite::ml::metrics::confusion_matrix;
 use msa_suite::msa_core::hw::catalog;
 use msa_suite::msa_net::LinkParams;
@@ -47,13 +47,10 @@ fn main() {
         checkpoint: None,
     };
     println!("training CovidNet-lite with {} workers …", tc.workers);
-    let rep = train_data_parallel(
-        &tc,
-        &train,
-        model_fn,
-        |lr| Box::new(Adam::new(lr)),
-        SoftmaxCrossEntropy,
-    );
+    let rep = Trainer::new(tc.clone())
+        .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+        .expect("no resume snapshot")
+        .completed();
     let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
     println!("test accuracy: {:.1}% (chance 33.3%)", acc * 100.0);
     print_confusion(model_fn, tc.seed, &rep, &test);

@@ -5,8 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
+
 use msa_suite::data::bigearth::{self, BigEarthConfig};
-use msa_suite::distrib::{evaluate_classifier, train_data_parallel, TrainConfig};
+use msa_suite::distrib::{evaluate_classifier, TrainConfig, Trainer};
+use msa_suite::msa_obs::MetricsRegistry;
 use msa_suite::msa_core::report;
 use msa_suite::msa_core::system::presets;
 use msa_suite::nn::{models, Adam, SoftmaxCrossEntropy};
@@ -54,13 +57,13 @@ fn main() {
         "training mini-ResNet with {} data-parallel workers …",
         tc.workers
     );
-    let rep = train_data_parallel(
-        &tc,
-        &train,
-        model_fn,
-        |lr| Box::new(Adam::new(lr)),
-        SoftmaxCrossEntropy,
-    );
+    let rec = Arc::new(MetricsRegistry::new());
+    let rep = Trainer::new(tc.clone())
+        .recorder(Arc::clone(&rec))
+        .tag("quickstart")
+        .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+        .expect("no resume snapshot")
+        .completed();
     for e in &rep.epochs {
         println!(
             "  epoch {:>2}  loss {:.4}  lr {:.4}",
@@ -72,5 +75,24 @@ fn main() {
         "done in {:.2}s wall: test accuracy {:.1}% (chance 33.3%)",
         rep.wall_secs,
         acc * 100.0
+    );
+
+    // 4. The run report: every phase of every rank, captured as
+    //    deterministic SimTime metrics. The same JSON, bit for bit, on
+    //    every run — diff it across commits to catch cost regressions.
+    let b = rep.breakdown;
+    let pct = |ps: u64| 100.0 * ps as f64 / rep.sim_wall_ps.max(1) as f64;
+    println!(
+        "modeled wall {:.3}ms: compute {:.1}%, allreduce {:.1}%, staging {:.1}%",
+        rep.sim_wall().as_secs() * 1e3,
+        pct(b.compute_ps),
+        pct(b.allreduce_ps),
+        pct(b.stage_ps),
+    );
+    let snapshot = rec.snapshot();
+    std::fs::write("quickstart_report.json", snapshot.to_json()).expect("write report");
+    println!(
+        "wrote {} metrics to quickstart_report.json",
+        snapshot.len()
     );
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use msa_suite::data::bigearth::{self, spectral_features, BigEarthConfig};
-use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::distrib::{evaluate_classifier, ScalingModel, TrainConfig, Trainer};
 use msa_suite::ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
 use msa_suite::msa_core::hw::catalog;
 use msa_suite::msa_net::LinkParams;
@@ -47,13 +47,10 @@ fn main() {
             seed: 7,
             checkpoint: None,
         };
-        let rep = train_data_parallel(
-            &tc,
-            &train,
-            model_fn,
-            |lr| Box::new(Adam::new(lr)),
-            SoftmaxCrossEntropy,
-        );
+        let rep = Trainer::new(tc.clone())
+            .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+            .expect("no resume snapshot")
+            .completed();
         let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
         println!(
             "{workers:>8} {:>10.2} {:>9.1}%",

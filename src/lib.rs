@@ -14,6 +14,7 @@ pub use hpda;
 pub use ml;
 pub use msa_core;
 pub use msa_net;
+pub use msa_obs;
 pub use msa_sched;
 pub use msa_storage;
 pub use nn;
@@ -31,6 +32,7 @@ mod tests {
         // this build.
         let _ = crate::msa_core::system::presets::deep();
         let _ = crate::msa_net::LinkParams::infiniband_edr();
+        let _ = crate::msa_obs::MetricsRegistry::new();
         let _ = crate::msa_storage::Nam::deep_prototype();
         let _ = crate::msa_sched::TraceConfig::default();
         let _ = crate::tensor::Tensor::zeros(&[1]);

@@ -4,10 +4,7 @@
 //! was never killed.
 
 use msa_suite::data::Dataset;
-use msa_suite::distrib::{
-    resume_from_snapshot, train_data_parallel, train_data_parallel_faulted, CheckpointError,
-    CheckpointPolicy, TrainConfig, TrainOutcome,
-};
+use msa_suite::distrib::{CheckpointError, CheckpointPolicy, TrainConfig, TrainOutcome, Trainer};
 use msa_suite::msa_net::FaultPlan;
 use msa_suite::nn::{Dense, Optimizer, Relu, Sequential, Sgd, SoftmaxCrossEntropy};
 use msa_suite::tensor::{Rng, Tensor};
@@ -62,7 +59,10 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
     let cfg = config();
 
     // Reference: the run nothing ever happens to.
-    let reference = train_data_parallel(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy);
+    let reference = Trainer::new(cfg.clone())
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate")
+        .completed();
     assert!(
         !reference.checkpoints.is_empty(),
         "policy must have produced snapshots"
@@ -70,17 +70,13 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
 
     // Same run, but rank 1 dies after 7 global steps (mid-epoch: each
     // epoch has 128/2/16 = 4 steps per rank).
-    let outcome = train_data_parallel_faulted(
-        &cfg,
-        &ds,
-        mlp,
-        opt,
-        SoftmaxCrossEntropy,
-        Some(FaultPlan {
+    let outcome = Trainer::new(cfg.clone())
+        .fault(FaultPlan {
             rank: 1,
             at_step: 7,
-        }),
-    );
+        })
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate");
     let TrainOutcome::Interrupted { failure, snapshot } = outcome else {
         panic!("armed fault must interrupt the run");
     };
@@ -90,7 +86,9 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
     let snapshot = snapshot.expect("a checkpoint preceded the kill");
 
     // Resume and finish.
-    let resumed = resume_from_snapshot(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy, &snapshot, None)
+    let resumed = Trainer::new(cfg.clone())
+        .resume(&snapshot)
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
         .expect("snapshot matches the config");
     let TrainOutcome::Completed(resumed) = resumed else {
         panic!("resumed run has no fault armed");
@@ -120,19 +118,18 @@ fn resumed_run_survives_a_second_kill() {
     // Fail, resume, fail again, resume again — still bit-exact.
     let ds = toy_dataset(256, 37);
     let cfg = config();
-    let reference = train_data_parallel(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy);
+    let reference = Trainer::new(cfg.clone())
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate")
+        .completed();
 
-    let first = train_data_parallel_faulted(
-        &cfg,
-        &ds,
-        mlp,
-        opt,
-        SoftmaxCrossEntropy,
-        Some(FaultPlan {
+    let first = Trainer::new(cfg.clone())
+        .fault(FaultPlan {
             rank: 0,
             at_step: 5,
-        }),
-    );
+        })
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate");
     let TrainOutcome::Interrupted { snapshot, .. } = first else {
         panic!("first fault must fire");
     };
@@ -140,28 +137,24 @@ fn resumed_run_survives_a_second_kill() {
 
     // The second fault's step counter is global, so a kill at step 11
     // interrupts the *resumed* run too.
-    let second = resume_from_snapshot(
-        &cfg,
-        &ds,
-        mlp,
-        opt,
-        SoftmaxCrossEntropy,
-        &snap1,
-        Some(FaultPlan {
+    let second = Trainer::new(cfg.clone())
+        .resume(&snap1)
+        .fault(FaultPlan {
             rank: 1,
             at_step: 11,
-        }),
-    )
-    .expect("snapshot matches the config");
+        })
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("snapshot matches the config");
     let TrainOutcome::Interrupted { failure, snapshot } = second else {
         panic!("second fault must fire");
     };
     assert_eq!(failure.at_step, 11);
     let snap2 = snapshot.expect("step-9 checkpoint exists");
 
-    let final_run =
-        resume_from_snapshot(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy, &snap2, None)
-            .expect("snapshot matches the config");
+    let final_run = Trainer::new(cfg.clone())
+        .resume(&snap2)
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("snapshot matches the config");
     let TrainOutcome::Completed(resumed) = final_run else {
         panic!("final resume has no fault armed");
     };
@@ -173,7 +166,10 @@ fn resumed_run_survives_a_second_kill() {
 fn corrupted_snapshot_is_rejected_not_resumed() {
     let ds = toy_dataset(128, 41);
     let cfg = config();
-    let report = train_data_parallel(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy);
+    let report = Trainer::new(cfg.clone())
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate")
+        .completed();
     let snapshot = report.latest_snapshot.expect("checkpoints were taken");
 
     // A single flipped payload bit must surface as a typed error from the
@@ -181,20 +177,16 @@ fn corrupted_snapshot_is_rejected_not_resumed() {
     let mut corrupt = snapshot.clone();
     let mid = corrupt.len() / 2;
     corrupt[mid] ^= 0x01;
-    let err = resume_from_snapshot(&cfg, &ds, mlp, opt, SoftmaxCrossEntropy, &corrupt, None)
+    let err = Trainer::new(cfg.clone())
+        .resume(&corrupt)
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
         .expect_err("corruption must be detected");
     assert!(matches!(err, CheckpointError::Snapshot(_)), "got {err:?}");
 
     // Truncation too.
-    let err = resume_from_snapshot(
-        &cfg,
-        &ds,
-        mlp,
-        opt,
-        SoftmaxCrossEntropy,
-        &snapshot[..snapshot.len() - 5],
-        None,
-    )
-    .expect_err("truncation must be detected");
+    let err = Trainer::new(cfg)
+        .resume(&snapshot[..snapshot.len() - 5])
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect_err("truncation must be detected");
     assert!(matches!(err, CheckpointError::Snapshot(_)), "got {err:?}");
 }

@@ -4,7 +4,7 @@
 
 use msa_suite::data::cxr::{self, CxrConfig};
 use msa_suite::data::icu::{self, IcuConfig, SPO2};
-use msa_suite::distrib::{evaluate_classifier, train_data_parallel, TrainConfig};
+use msa_suite::distrib::{evaluate_classifier, TrainConfig, Trainer};
 use msa_suite::ml::forest::{RandomForest, RandomForestConfig};
 use msa_suite::ml::gbdt::{Gbdt, GbdtConfig};
 use msa_suite::nn::{models, Adam, Layer, MaskedMae, Optimizer, SoftmaxCrossEntropy};
@@ -75,13 +75,10 @@ fn covidnet_separates_three_classes_distributed() {
         seed: 3,
         checkpoint: None,
     };
-    let rep = train_data_parallel(
-        &tc,
-        &train,
-        model_fn,
-        |lr| Box::new(Adam::new(lr)),
-        SoftmaxCrossEntropy,
-    );
+    let rep = Trainer::new(tc.clone())
+        .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+        .expect("no resume snapshot")
+        .completed();
     let acc = evaluate_classifier(model_fn, tc.seed, &rep, &test);
     assert!(acc > 0.7, "CXR screening accuracy {acc} (chance 0.33)");
 }

@@ -4,7 +4,7 @@
 //! quantum classifier paths on the same features.
 
 use msa_suite::data::bigearth::{self, spectral_features, BigEarthConfig};
-use msa_suite::distrib::{evaluate_classifier, train_data_parallel, ScalingModel, TrainConfig};
+use msa_suite::distrib::{evaluate_classifier, ScalingModel, TrainConfig, Trainer};
 use msa_suite::ml::svm::{cascade_svm, Kernel, Svm, SvmConfig};
 use msa_suite::msa_core::hw::catalog;
 use msa_suite::msa_net::LinkParams;
@@ -47,13 +47,10 @@ fn distributed_cnn_accuracy_is_preserved_across_worker_counts() {
             seed: 7,
             checkpoint: None,
         };
-        let rep = train_data_parallel(
-            &tc,
-            &train,
-            model_fn,
-            |lr| Box::new(Adam::new(lr)),
-            SoftmaxCrossEntropy,
-        );
+        let rep = Trainer::new(tc.clone())
+            .run(&train, model_fn, |lr| Box::new(Adam::new(lr)), SoftmaxCrossEntropy)
+            .expect("no resume snapshot")
+            .completed();
         accs.push(evaluate_classifier(model_fn, tc.seed, &rep, &test));
     }
     assert!(accs[0] > 0.8, "1-worker accuracy too low: {}", accs[0]);
