@@ -4,9 +4,10 @@
 //! cargo run --release -p bench --bin experiments -- e3
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- obs BENCH_pr3.json
+//! cargo run --release -p bench --bin experiments -- kernels BENCH_pr4.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs> [more ids… | obs output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -21,7 +22,10 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs> [more ids… | obs out
   e12 modular workflow: train here, infer there
   e13 checkpoint/restart: NAM vs parallel FS
   e14 interactive sessions: reserved DAM vs shared queue
-  obs deterministic observability report -> BENCH_pr3.json (or given path)";
+  obs deterministic observability report -> BENCH_pr3.json (or given path)
+  kernels [--counters] kernel throughput + bit-exactness report
+      -> BENCH_pr4.json (or given path); --counters emits only the
+      deterministic section (CI byte-compares two runs)";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
 /// to `path` and fails loudly if the registry came back empty.
@@ -43,6 +47,32 @@ fn run_obs(path: &str) -> i32 {
     0
 }
 
+/// Runs the `kernels` subcommand. `--counters` selects the
+/// deterministic section only (for CI byte-comparison); otherwise the
+/// full report with timings goes to the given path (default
+/// `BENCH_pr4.json`). `MSA_BENCH_FAST=1` cuts timing repetitions.
+fn run_kernels(rest: &[String]) -> i32 {
+    let counters_only = rest.first().is_some_and(|a| a == "--counters");
+    let path_arg = if counters_only { rest.get(1) } else { rest.first() };
+    let default = if counters_only {
+        "BENCH_pr4_counters.json"
+    } else {
+        "BENCH_pr4.json"
+    };
+    let path = path_arg.map_or(default, String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (counters, full) = bench::kernels::kernel_report(fast);
+    let body = if counters_only { counters } else { full };
+    if let Err(e) = std::fs::write(path, &body) {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote kernel report to {path}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -53,6 +83,9 @@ fn main() {
     if args[0] == "obs" {
         let path = args.get(1).map_or("BENCH_pr3.json", String::as_str);
         std::process::exit(run_obs(path));
+    }
+    if args[0] == "kernels" {
+        std::process::exit(run_kernels(&args[1..]));
     }
     for id in &args {
         // lint: allow(print) -- CLI report output

@@ -1,6 +1,6 @@
 //! `msa-lint`: a dependency-free source scanner enforcing workspace
 //! invariants that rustc/clippy cannot express (or that we do not want to
-//! gate on a nightly toolchain). Five rules:
+//! gate on a nightly toolchain). Six rules:
 //!
 //! | rule              | scope                     | invariant |
 //! |-------------------|---------------------------|-----------|
@@ -9,6 +9,7 @@
 //! | `float-eq`        | `ml`, `nn`, `tensor`      | no `==` / `!=` against float literals; numeric code compares with tolerances |
 //! | `pub-event-field` | `msa-core/src/event.rs`   | event structs keep fields private so invariants hold at construction |
 //! | `print`           | every crate               | no `println!`/`eprintln!` in non-test library code; observability goes through `msa-obs` recorders. CLI binaries justify each print with an allow |
+//! | `alloc-in-kernel` | `tensor/src/{matmul,conv}.rs`, `nn/src/conv.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`) |
 //!
 //! Findings print as `file:line: rule — message` and the binary exits
 //! nonzero when any survive. A finding is suppressed by a same-line (or
@@ -64,6 +65,7 @@ pub struct Profile {
     pub float_eq: bool,
     pub pub_event_field: bool,
     pub print: bool,
+    pub alloc_in_kernel: bool,
 }
 
 impl Profile {
@@ -74,6 +76,7 @@ impl Profile {
             float_eq: true,
             pub_event_field: true,
             print: true,
+            alloc_in_kernel: true,
         }
     }
 
@@ -81,6 +84,15 @@ impl Profile {
     pub fn for_crate(crate_name: &str, file: &Path) -> Self {
         let is_event_file = crate_name == "msa-core"
             && file.file_name().is_some_and(|n| n == "event.rs");
+        // The training hot path: every allocation inside a loop here is a
+        // per-step heap hit that the scratch-buffer API exists to remove.
+        let is_kernel_file = match crate_name {
+            "tensor" => file
+                .file_name()
+                .is_some_and(|n| n == "matmul.rs" || n == "conv.rs"),
+            "nn" => file.file_name().is_some_and(|n| n == "conv.rs"),
+            _ => false,
+        };
         Profile {
             unwrap: true,
             // msa-net owns the thread-backed communicator runtime; bench
@@ -92,6 +104,7 @@ impl Profile {
             // deterministic and machine-readable; stdout is for CLI
             // binaries only, and those justify each print with an allow.
             print: true,
+            alloc_in_kernel: is_kernel_file,
         }
     }
 }
@@ -284,6 +297,73 @@ fn test_line_mask(scrubbed: &str) -> Vec<bool> {
         let (a, b) = (line_of(start), line_of(close.min(scrubbed.len() - 1)));
         for line in mask.iter_mut().take(b + 1).skip(a) {
             *line = true;
+        }
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Loop-region masking: lines inside a `for`/`while`/`loop` body are the
+// kernel hot path for the alloc-in-kernel rule.
+// ---------------------------------------------------------------------------
+
+/// Per-line flag: true when the line sits inside a `for`/`while`/`loop`
+/// region (header line included — a `while fills_a_vec()` condition runs
+/// per iteration too). Works on scrubbed text so keywords and braces are
+/// trustworthy. `impl Display for Foo` and `for<'a>` bounds are not
+/// loops: a `for` only counts when a whole-word `in` appears between the
+/// keyword and the body's opening brace, and a bare `loop` only when
+/// nothing but whitespace does.
+fn loop_line_mask(scrubbed: &str) -> Vec<bool> {
+    let n_lines = scrubbed.lines().count().max(1);
+    let mut mask = vec![false; n_lines];
+    if scrubbed.is_empty() {
+        return mask;
+    }
+    let bytes = scrubbed.as_bytes();
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&c| c == b'\n').count();
+
+    for kw in ["for", "while", "loop"] {
+        for (pos, _) in scrubbed.match_indices(kw) {
+            let before_ok = pos == 0 || !ident(bytes[pos - 1]);
+            let after = pos + kw.len();
+            let after_ok = bytes.get(after).is_none_or(|&c| !ident(c));
+            if !before_ok || !after_ok {
+                continue;
+            }
+            let Some(open_rel) = scrubbed[after..].find('{') else {
+                continue;
+            };
+            let open = after + open_rel;
+            let header = &scrubbed[after..open];
+            let is_loop = match kw {
+                "for" => header.split_whitespace().any(|t| t == "in"),
+                "loop" => header.trim().is_empty(),
+                _ => true,
+            };
+            if !is_loop {
+                continue;
+            }
+            let mut depth = 0usize;
+            let mut close = scrubbed.len();
+            for (off, ch) in scrubbed[open..].char_indices() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = open + off;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let (a, b) = (line_of(pos), line_of(close.min(scrubbed.len() - 1)));
+            for line in mask.iter_mut().take(b + 1).skip(a) {
+                *line = true;
+            }
         }
     }
     mask
@@ -491,6 +571,11 @@ pub fn lint_source(file: &str, source: &str, profile: &Profile) -> Vec<Finding> 
     let scrubbed = scrub(source);
     let allows = parse_allows(source);
     let mask = test_line_mask(&scrubbed);
+    let loop_mask = if profile.alloc_in_kernel {
+        loop_line_mask(&scrubbed)
+    } else {
+        Vec::new()
+    };
     let mut findings = Vec::new();
     let mut used_allows: Vec<usize> = Vec::new();
 
@@ -591,6 +676,34 @@ pub fn lint_source(file: &str, source: &str, profile: &Profile) -> Vec<Finding> 
                  the communicator runtime or rayon"
                     .to_string(),
             );
+        }
+
+        // Allocation in a test's loop is harmless; the rule exists to keep
+        // the per-step training path off the heap.
+        if profile.alloc_in_kernel && !in_test && loop_mask.get(idx).copied().unwrap_or(false) {
+            for needle in ["Vec::new(", "Vec::with_capacity(", ".to_vec()", "vec!["] {
+                for (pos, _) in line.match_indices(needle) {
+                    // Ident-boundary guard so `MyVec::new` / `my_vec![`
+                    // never fire. `.to_vec()` starts with the method dot,
+                    // so its preceding char is legitimately an identifier.
+                    let bounded = needle.starts_with('.')
+                        || pos == 0
+                        || !is_ident_char(line.as_bytes()[pos - 1] as char);
+                    if bounded {
+                        push(
+                            &mut findings,
+                            &mut used_allows,
+                            idx,
+                            "alloc-in-kernel",
+                            format!(
+                                "`{needle}…` allocates inside a kernel loop; hoist it \
+                                 into a reusable scratch buffer (see `tensor::scratch`) \
+                                 or justify with an allow"
+                            ),
+                        );
+                    }
+                }
+            }
         }
 
         // Exact float asserts against known constants are fine in tests;
@@ -878,9 +991,64 @@ mod tests {
         assert!(p.print);
         let p = Profile::for_crate("ml", Path::new("crates/ml/src/svm.rs"));
         assert!(p.float_eq && p.thread_spawn && p.print);
+        assert!(!p.alloc_in_kernel);
         let p = Profile::for_crate("msa-core", Path::new("crates/msa-core/src/event.rs"));
         assert!(p.pub_event_field);
         let p = Profile::for_crate("msa-core", Path::new("crates/msa-core/src/hw.rs"));
         assert!(!p.pub_event_field && p.print);
+        // The hot-kernel files get the allocation rule; the rest of their
+        // crates do not.
+        let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/matmul.rs"));
+        assert!(p.alloc_in_kernel);
+        let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/conv.rs"));
+        assert!(p.alloc_in_kernel);
+        let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/lib.rs"));
+        assert!(!p.alloc_in_kernel);
+        let p = Profile::for_crate("nn", Path::new("crates/nn/src/conv.rs"));
+        assert!(p.alloc_in_kernel);
+        let p = Profile::for_crate("nn", Path::new("crates/nn/src/gru.rs"));
+        assert!(!p.alloc_in_kernel);
+    }
+
+    #[test]
+    fn alloc_in_kernel_loops_detected() {
+        // Every allocation form fires, but only inside a loop region.
+        let src = "fn f(n: usize) -> Vec<f32> {\n    let mut out = vec![0.0f32; n];\n    for i in 0..n {\n        let t = vec![0.0f32; 4];\n        out[i] = t[0];\n    }\n    out\n}\n";
+        let fs = strict(src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!((fs[0].rule, fs[0].line), ("alloc-in-kernel", 4));
+        let src = "fn f(xs: &[f32]) {\n    let mut i = 0;\n    while i < xs.len() {\n        let _ = xs.to_vec();\n        i += 1;\n    }\n}\n";
+        assert_eq!(rules(src), vec!["alloc-in-kernel"]);
+        let src = "fn f() {\n    loop {\n        let _: Vec<f32> = Vec::new();\n        let _: Vec<f32> = Vec::with_capacity(8);\n        break;\n    }\n}\n";
+        assert_eq!(rules(src), vec!["alloc-in-kernel", "alloc-in-kernel"]);
+    }
+
+    #[test]
+    fn alloc_outside_loops_and_non_loop_for_are_exempt() {
+        // Function-scope allocation is the normal entry-point pattern.
+        assert!(strict("fn f(n: usize) -> Vec<f32> {\n    vec![0.0f32; n]\n}\n").is_empty());
+        // `impl Trait for Type` is not a loop region.
+        let src = "struct S;\nimpl From<u8> for S {\n    fn from(_: u8) -> S {\n        let _: Vec<u8> = Vec::with_capacity(4);\n        S\n    }\n}\n";
+        assert!(strict(src).is_empty());
+        // HRTB `for<'a>` bounds are not loop regions either.
+        let src = "fn f<F>(g: F) -> Vec<u8>\nwhere\n    F: for<'a> Fn(&'a u8) -> u8,\n{\n    let v = Vec::with_capacity(1);\n    v\n}\n";
+        assert!(strict(src).is_empty());
+        // Loops inside test regions are exempt.
+        let src = "#[test]\nfn t() {\n    for _ in 0..3 {\n        let _ = vec![1u8];\n    }\n}\n";
+        assert!(strict(src).is_empty());
+        // Lookalike macros never fire.
+        let src = "fn f() {\n    for _ in 0..3 {\n        my_vec![1u8];\n    }\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_kernel_allow_escape() {
+        let src = "fn f(n: usize) {\n    for _ in 0..n {\n        // lint: allow(alloc-in-kernel) -- baseline reproduces the seed's allocation pattern\n        let _ = vec![0.0f32; n];\n    }\n}\n";
+        assert!(strict(src).is_empty());
+        // Unjustified allow reports both the finding and the bad allow.
+        let src = "fn f(n: usize) {\n    for _ in 0..n {\n        // lint: allow(alloc-in-kernel)\n        let _ = vec![0.0f32; n];\n    }\n}\n";
+        let mut rs = rules(src);
+        rs.sort_unstable();
+        assert_eq!(rs, vec!["alloc-in-kernel", "lint-allow"]);
     }
 }

@@ -96,6 +96,26 @@ fn println_in_library_code_is_flagged() {
 }
 
 #[test]
+fn alloc_in_kernel_loop_is_flagged() {
+    let stdout = findings_for(
+        "allockernel",
+        concat!(
+            "pub fn f(n: usize) -> f32 {\n",
+            "    let mut acc = 0.0;\n",
+            "    for i in 0..n {\n",
+            "        let v = vec![1.0f32; 4];\n",
+            "        acc += v[i % 4];\n",
+            "    }\n",
+            "    acc\n",
+            "}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:4: alloc-in-kernel"), "{stdout}");
+    // The function-scope `acc` binding on line 2 is not a finding.
+    assert!(!stdout.contains("fixture.rs:2:"), "{stdout}");
+}
+
+#[test]
 fn unjustified_allow_does_not_suppress() {
     let stdout = findings_for(
         "badallow",
@@ -121,6 +141,11 @@ fn one_fixture_per_banned_pattern_all_reported_together() {
             "print.rs",
             "pub fn f() { eprintln!(\"progress\"); }\n",
             "print",
+        ),
+        (
+            "alloc.rs",
+            "pub fn f(n: usize) { for _ in 0..n { let _ = vec![0u8; n]; } }\n",
+            "alloc-in-kernel",
         ),
     ];
     for (name, source, _) in &cases {

@@ -1,11 +1,27 @@
 //! Convolution layers lowered to GEMM via im2col, parallel over the
 //! batch with rayon — the same strategy cuDNN's GEMM algorithm uses.
+//!
+//! Hot-path memory discipline: the seed allocated a fresh column
+//! `Tensor` per sample per step (plus a cloned weight matrix and
+//! per-sample gradient tensors). This version routes every workspace
+//! through layer-owned [`Arena`] scratch buffers — the im2col column
+//! cache, the per-sample `dW`/`db`/`dcols` staging — and reads weights
+//! in place (a `(F, C, KH, KW)` tensor is already the `(F, C·KH·KW)`
+//! GEMM operand, row-major). After the first step a forward performs
+//! zero heap allocation for column data, which tests assert through
+//! [`Conv2d::scratch_grows`]. The transposed weight panel used by the
+//! backward `dcols` product is packed once per backward call
+//! ([`PackedT`]) and reused across the whole batch.
+//!
+//! Gradient accumulation over samples stays sequential and in sample
+//! order, so results are bit-identical regardless of pool size.
 
 use crate::layer::Layer;
 use crate::param::Param;
 use rayon::prelude::*;
-use tensor::conv::{col2im, im2col, out_dim};
-use tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tensor::conv::{col2im_into, im2col_into, out_dim};
+use tensor::matmul::{gemm_nn_into, gemm_nt_into, Blocking, PackedT};
+use tensor::scratch::Arena;
 use tensor::{Rng, Tensor};
 
 /// 2-D convolution over `(N, C, H, W)` inputs with `(F, C, KH, KW)`
@@ -19,10 +35,18 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cache: Option<ConvCache>,
+    /// Column cache: `n · (C·KH·KW) · (OH·OW)` floats written by forward,
+    /// read back by backward. Reused across steps.
+    cols_arena: Arena,
+    /// Backward staging: per-sample `dW`, `db` and `dcols` slabs.
+    bwd_arena: Arena,
+    /// `Wᵀ` panel packed once per backward, shared by every sample.
+    packed_w: PackedT,
 }
 
+/// Shape bookkeeping from the last forward (the column data itself lives
+/// in the arena, not here).
 struct ConvCache {
-    cols: Vec<Tensor>, // per-sample im2col matrices
     in_shape: Vec<usize>,
     oh: usize,
     ow: usize,
@@ -48,15 +72,145 @@ impl Conv2d {
             stride,
             pad,
             cache: None,
+            cols_arena: Arena::new(),
+            bwd_arena: Arena::new(),
+            packed_w: PackedT::new(),
         }
     }
 
-    fn wmat(&self) -> Tensor {
-        self.w
-            .value
-            .clone()
-            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])
+    /// Scratch-growth counters `(forward cols, backward staging)`: each
+    /// arena grows on warm-up and must then stay flat across steps of
+    /// identical shape — the "no per-step allocation" assertion used by
+    /// tests and benches.
+    pub fn scratch_grows(&self) -> (u64, u64) {
+        (self.cols_arena.grows(), self.bwd_arena.grows())
     }
+}
+
+/// Shared forward over the im2col lowering: writes per-sample columns
+/// into `cols_all` chunks and `W·cols + b` into `out` chunks, parallel
+/// over the batch (sample kernels run serially inside the batch stage).
+#[allow(clippy::too_many_arguments)]
+fn conv_forward_into(
+    input: &[f32],
+    w_mat: &[f32],
+    bias: &[f32],
+    dims: ForwardDims,
+    cols_all: &mut [f32],
+    out: &mut [f32],
+) {
+    let ForwardDims {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad_h,
+        pad_w,
+        f,
+        ohow,
+    } = dims;
+    let per_img = c * h * w;
+    let ckk = c * kh * kw;
+    out.par_chunks_mut(f * ohow)
+        .zip(cols_all.par_chunks_mut(ckk * ohow))
+        .enumerate()
+        .for_each(|(i, (y, cols))| {
+            let img = &input[i * per_img..(i + 1) * per_img];
+            im2col_into(img, c, h, w, kh, kw, stride, pad_h, pad_w, cols);
+            gemm_nn_into(f, ckk, ohow, w_mat, cols, y, Blocking::default());
+            for (ff, &bf) in bias.iter().enumerate() {
+                for v in &mut y[ff * ohow..(ff + 1) * ohow] {
+                    *v += bf;
+                }
+            }
+        });
+}
+
+#[derive(Clone, Copy)]
+struct ForwardDims {
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+    f: usize,
+    ohow: usize,
+}
+
+/// Shared backward: per-sample `dW = g·colsᵀ`, `db`, `dcols = Wᵀ·g` and
+/// `dx = col2im(dcols)` staged into disjoint scratch chunks in parallel,
+/// then folded into the parameter gradients sequentially in sample order
+/// (bit-stable under any pool size).
+#[allow(clippy::too_many_arguments)]
+fn conv_backward(
+    grad_out: &[f32],
+    cols_all: &[f32],
+    packed_w: &PackedT,
+    dims: ForwardDims,
+    n: usize,
+    bwd: &mut Arena,
+    w_grad: &mut [f32],
+    b_grad: &mut [f32],
+) -> Vec<f32> {
+    let ForwardDims {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad_h,
+        pad_w,
+        f,
+        ohow,
+    } = dims;
+    let ckk = c * kh * kw;
+    let per_img = c * h * w;
+    let per_g = f * ohow;
+
+    let mut dx_all = vec![0.0f32; n * per_img];
+    let mut frame = bwd.frame(n * (f * ckk + f + ckk * ohow));
+    let dw_all = frame.take(n * f * ckk);
+    let db_all = frame.take(n * f);
+    let dcols_all = frame.take(n * ckk * ohow);
+
+    dx_all
+        .par_chunks_mut(per_img)
+        .zip(dw_all.par_chunks_mut(f * ckk))
+        .zip(db_all.par_chunks_mut(f))
+        .zip(dcols_all.par_chunks_mut(ckk * ohow))
+        .enumerate()
+        .for_each(|(i, (((dx, dw), db), dcols))| {
+            let g = &grad_out[i * per_g..(i + 1) * per_g];
+            let cols = &cols_all[i * ckk * ohow..(i + 1) * ckk * ohow];
+            // dW = g (F×OHOW) · colsᵀ (CKK×OHOW)ᵀ
+            gemm_nt_into(f, ohow, ckk, g, cols, dw);
+            for (ff, d) in db.iter_mut().enumerate() {
+                *d = g[ff * ohow..(ff + 1) * ohow].iter().sum();
+            }
+            // dcols = Wᵀ (CKK×F) · g (F×OHOW); dcols is frame-zeroed.
+            packed_w.gemm_into(g, ohow, dcols, Blocking::default());
+            col2im_into(dcols, c, h, w, kh, kw, stride, pad_h, pad_w, dx);
+        });
+
+    // Deterministic accumulation: ascending sample order, elementwise —
+    // the same chain as the seed's sequential per-sample zip_inplace.
+    for i in 0..n {
+        let dw = &dw_all[i * f * ckk..(i + 1) * f * ckk];
+        for (acc, d) in w_grad.iter_mut().zip(dw) {
+            *acc += d;
+        }
+        let db = &db_all[i * f..(i + 1) * f];
+        for (acc, d) in b_grad.iter_mut().zip(db) {
+            *acc += d;
+        }
+    }
+    dx_all
 }
 
 impl Layer for Conv2d {
@@ -71,33 +225,33 @@ impl Layer for Conv2d {
         assert_eq!(c, self.in_channels, "channel mismatch");
         let oh = out_dim(h, self.kernel, self.stride, self.pad);
         let ow = out_dim(w, self.kernel, self.stride, self.pad);
-        let wmat = self.wmat();
-        let bias = self.b.value.data().to_vec();
-        let per_img = c * h * w;
-
-        let results: Vec<(Tensor, Tensor)> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let img = &input.data()[i * per_img..(i + 1) * per_img];
-                let cols = im2col(img, c, h, w, self.kernel, self.kernel, self.stride, self.pad, self.pad);
-                let mut y = matmul(&wmat, &cols); // (F, OH*OW)
-                for (f, &bf) in bias.iter().enumerate() {
-                    for v in y.row_mut(f) {
-                        *v += bf;
-                    }
-                }
-                (y, cols)
-            })
-            .collect();
-
-        let mut out = Vec::with_capacity(n * self.out_channels * oh * ow);
-        let mut cols_cache = Vec::with_capacity(n);
-        for (y, cols) in results {
-            out.extend_from_slice(y.data());
-            cols_cache.push(cols);
+        let dims = ForwardDims {
+            c,
+            h,
+            w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad_h: self.pad,
+            pad_w: self.pad,
+            f: self.out_channels,
+            ohow: oh * ow,
+        };
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        {
+            let cols_len = n * c * self.kernel * self.kernel * oh * ow;
+            let mut frame = self.cols_arena.frame(cols_len);
+            let cols_all = frame.take(cols_len);
+            conv_forward_into(
+                input.data(),
+                self.w.value.data(),
+                self.b.value.data(),
+                dims,
+                cols_all,
+                &mut out,
+            );
         }
         self.cache = Some(ConvCache {
-            cols: cols_cache,
             in_shape: input.shape().to_vec(),
             oh,
             ow,
@@ -116,47 +270,38 @@ impl Layer for Conv2d {
         );
         let (oh, ow) = (cache.oh, cache.ow);
         assert_eq!(grad_out.shape(), &[n, self.out_channels, oh, ow]);
-        let wmat = self.wmat();
-        let f = self.out_channels;
-        let per_g = f * oh * ow;
+        let dims = ForwardDims {
+            c,
+            h,
+            w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad_h: self.pad,
+            pad_w: self.pad,
+            f: self.out_channels,
+            ohow: oh * ow,
+        };
+        let ckk = c * self.kernel * self.kernel;
+        // Pack Wᵀ once for the whole batch. The weight tensor is the
+        // (F, CKK) operand in place; tn packing wants (k=F, m=CKK)ᵀ,
+        // i.e. the (CKK, F) layout, which is exactly W viewed (F, CKK)
+        // transposed — PackedT materialises that.
+        self.packed_w.pack_from(self.out_channels, ckk, self.w.value.data());
+        let in_shape = cache.in_shape.clone();
 
-        let results: Vec<(Tensor, Vec<f32>, Vec<f32>)> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let g = Tensor::from_vec(
-                    grad_out.data()[i * per_g..(i + 1) * per_g].to_vec(),
-                    &[f, oh * ow],
-                );
-                let cols = &cache.cols[i];
-                let dw = matmul_nt(&g, cols); // (F, C·K·K)
-                let db: Vec<f32> = (0..f).map(|ff| g.row(ff).iter().sum()).collect();
-                let dcols = matmul_tn(&wmat, &g); // (C·K·K, OH·OW)
-                let dx = col2im(
-                    &dcols,
-                    c,
-                    h,
-                    w,
-                    self.kernel,
-                    self.kernel,
-                    self.stride,
-                    self.pad,
-                    self.pad,
-                );
-                (dw, db, dx)
-            })
-            .collect();
-
-        let mut dx_all = Vec::with_capacity(n * c * h * w);
-        for (dw, db, dx) in results {
-            self.w
-                .grad
-                .zip_inplace(&dw.reshape(self.w.value.shape()), |a, b| a + b);
-            for (acc, d) in self.b.grad.data_mut().iter_mut().zip(&db) {
-                *acc += d;
-            }
-            dx_all.extend_from_slice(&dx);
-        }
-        Tensor::from_vec(dx_all, &cache.in_shape.clone())
+        let cols_all = self.cols_arena.filled(n * ckk * oh * ow);
+        let dx_all = conv_backward(
+            grad_out.data(),
+            cols_all,
+            &self.packed_w,
+            dims,
+            n,
+            &mut self.bwd_arena,
+            self.w.grad.data_mut(),
+            self.b.grad.data_mut(),
+        );
+        Tensor::from_vec(dx_all, &in_shape)
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -194,61 +339,50 @@ impl Conv1d {
         inner.kernel = kernel;
         Conv1d { inner }
     }
+
+    /// Lowering of `(N, C, L)` to the 2-D machinery: a `(C, 1, L)` image
+    /// with a 1×K kernel, padded only along the sequence axis.
+    fn dims(&self, c: usize, l: usize) -> ForwardDims {
+        ForwardDims {
+            c,
+            h: 1,
+            w: l,
+            kh: 1,
+            kw: self.inner.kernel,
+            stride: self.inner.stride,
+            pad_h: 0,
+            pad_w: self.inner.pad,
+            f: self.inner.out_channels,
+            ohow: out_dim(l, self.inner.kernel, self.inner.stride, self.inner.pad),
+        }
+    }
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.ndim(), 3, "Conv1d expects (N, C, L)");
         let (n, c, l) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-        // 1×K kernel over a 1×L image would need out_dim(1, K, s, p) on
-        // the H axis; instead treat the sequence as the H axis with a K×1
-        // kernel — equivalent and allowed by the square-kernel inner
-        // layer only if we transpose. Simplest correct lowering: H = L,
-        // W = 1 is wrong for K×K kernels. We therefore run the im2col
-        // machinery directly here with kh=1.
-        let k = self.inner.kernel;
-        let stride = self.inner.stride;
-        let pad = self.inner.pad;
-        let ol = out_dim(l, k, stride, pad);
-        let wmat = self
-            .inner
-            .w
-            .value
-            .clone()
-            .reshape(&[self.inner.out_channels, c * k]);
-        let bias = self.inner.b.value.data().to_vec();
-        let per_img = c * l;
-
-        let results: Vec<(Tensor, Tensor)> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let img = &input.data()[i * per_img..(i + 1) * per_img];
-                // (C, 1, L) image with a 1×K kernel.
-                let cols = im2col(img, c, 1, l, 1, k, stride, 0, pad);
-                let mut y = matmul(&wmat, &cols);
-                for (f, &bf) in bias.iter().enumerate() {
-                    for v in y.row_mut(f) {
-                        *v += bf;
-                    }
-                }
-                (y, cols)
-            })
-            .collect();
-
-        let f = self.inner.out_channels;
-        let mut out = Vec::with_capacity(n * f * ol);
-        let mut cols_cache = Vec::with_capacity(n);
-        for (y, cols) in results {
-            out.extend_from_slice(y.data());
-            cols_cache.push(cols);
+        let dims = self.dims(c, l);
+        let (f, ol) = (dims.f, dims.ohow);
+        let mut out = vec![0.0f32; n * f * ol];
+        {
+            let cols_len = n * c * self.inner.kernel * ol;
+            let mut frame = self.inner.cols_arena.frame(cols_len);
+            let cols_all = frame.take(cols_len);
+            conv_forward_into(
+                input.data(),
+                self.inner.w.value.data(),
+                self.inner.b.value.data(),
+                dims,
+                cols_all,
+                &mut out,
+            );
         }
         self.inner.cache = Some(ConvCache {
-            cols: cols_cache,
             in_shape: vec![n, c, 1, l],
             oh: 1,
             ow: ol,
         });
-        let _ = train;
         Tensor::from_vec(out, &[n, f, ol])
     }
 
@@ -257,41 +391,23 @@ impl Layer for Conv1d {
         // lint: allow(unwrap) -- layer API contract: backward requires a prior forward
         let cache = self.inner.cache.as_ref().expect("backward before forward");
         let (n, c, l) = (cache.in_shape[0], cache.in_shape[1], cache.in_shape[3]);
-        let f = self.inner.out_channels;
-        let ol = cache.ow;
-        let k = self.inner.kernel;
-        let stride = self.inner.stride;
-        let pad = self.inner.pad;
-        let wmat = self.inner.w.value.clone().reshape(&[f, c * k]);
-        let per_g = f * ol;
+        let dims = self.dims(c, l);
+        let (f, ol) = (dims.f, dims.ohow);
+        assert_eq!(grad_out.shape(), &[n, f, ol]);
+        let ck = c * self.inner.kernel;
+        self.inner.packed_w.pack_from(f, ck, self.inner.w.value.data());
 
-        let results: Vec<(Tensor, Vec<f32>, Vec<f32>)> = (0..n)
-            .into_par_iter()
-            .map(|i| {
-                let g = Tensor::from_vec(
-                    grad_out.data()[i * per_g..(i + 1) * per_g].to_vec(),
-                    &[f, ol],
-                );
-                let cols = &cache.cols[i];
-                let dw = matmul_nt(&g, cols);
-                let db: Vec<f32> = (0..f).map(|ff| g.row(ff).iter().sum()).collect();
-                let dcols = matmul_tn(&wmat, &g);
-                let dx = col2im(&dcols, c, 1, l, 1, k, stride, 0, pad);
-                (dw, db, dx)
-            })
-            .collect();
-
-        let mut dx_all = Vec::with_capacity(n * c * l);
-        for (dw, db, dx) in results {
-            self.inner
-                .w
-                .grad
-                .zip_inplace(&dw.reshape(self.inner.w.value.shape()), |a, b| a + b);
-            for (acc, d) in self.inner.b.grad.data_mut().iter_mut().zip(&db) {
-                *acc += d;
-            }
-            dx_all.extend_from_slice(&dx);
-        }
+        let cols_all = self.inner.cols_arena.filled(n * ck * ol);
+        let dx_all = conv_backward(
+            grad_out.data(),
+            cols_all,
+            &self.inner.packed_w,
+            dims,
+            n,
+            &mut self.inner.bwd_arena,
+            self.inner.w.grad.data_mut(),
+            self.inner.b.grad.data_mut(),
+        );
         Tensor::from_vec(dx_all, &[n, c, l])
     }
 
@@ -377,5 +493,58 @@ mod tests {
         assert_eq!(gx.shape(), &[1, 1, 4]);
         // each input position feeds ≤3 outputs: counts [2,3,3,2]
         assert_eq!(gx.data(), &[2.0, 3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn conv2d_scratch_stops_growing_after_warmup() {
+        let mut rng = Rng::seed(6);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = rng.normal_tensor(&[3, 2, 6, 6], 1.0);
+        let g = Tensor::ones(&[3, 4, 6, 6]);
+        // Warm-up step may grow both arenas.
+        let _ = conv.forward(&x, true);
+        let _ = conv.backward(&g);
+        let warm = conv.scratch_grows();
+        // Steady-state steps must not allocate column/staging scratch.
+        for _ in 0..5 {
+            let _ = conv.forward(&x, true);
+            let _ = conv.backward(&g);
+        }
+        assert_eq!(
+            conv.scratch_grows(),
+            warm,
+            "conv scratch arenas grew after warm-up (per-step allocation)"
+        );
+    }
+
+    #[test]
+    fn conv2d_grads_match_seed_order() {
+        // Two samples: accumulated gradients must equal the sum of
+        // single-sample gradients in ascending sample order, bit for bit.
+        let mut rng = Rng::seed(7);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let a = rng.normal_tensor(&[1, 2, 5, 5], 1.0);
+        let b = rng.normal_tensor(&[1, 2, 5, 5], 1.0);
+        let both = Tensor::from_vec([a.data(), b.data()].concat(), &[2, 2, 5, 5]);
+        let g1 = Tensor::ones(&[1, 3, 5, 5]);
+        let g2 = Tensor::ones(&[2, 3, 5, 5]);
+
+        let _ = conv.forward(&a, true);
+        let _ = conv.backward(&g1);
+        let wa: Vec<f32> = conv.w.grad.data().to_vec();
+        for p in conv.params_mut() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+        let _ = conv.forward(&b, true);
+        let _ = conv.backward(&g1);
+        let wb: Vec<f32> = conv.w.grad.data().to_vec();
+        for p in conv.params_mut() {
+            p.grad.map_inplace(|_| 0.0);
+        }
+        let _ = conv.forward(&both, true);
+        let _ = conv.backward(&g2);
+        for ((acc, x), y) in conv.w.grad.data().iter().zip(&wa).zip(&wb) {
+            assert_eq!(acc.to_bits(), (x + y).to_bits());
+        }
     }
 }

@@ -20,7 +20,8 @@ pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize 
 }
 
 /// Unrolls one `(C, H, W)` image into a `(C·KH·KW) × (OH·OW)` column
-/// matrix. `image` must have length `c*h*w`.
+/// matrix allocated here. Hot paths should prefer [`im2col_into`] with a
+/// reusable scratch buffer (see [`crate::scratch::Arena`]).
 #[allow(clippy::too_many_arguments)]
 pub fn im2col(
     image: &[f32],
@@ -33,12 +34,38 @@ pub fn im2col(
     pad_h: usize,
     pad_w: usize,
 ) -> Tensor {
-    assert_eq!(image.len(), c * h * w, "image length mismatch");
     let oh = out_dim(h, kh, stride, pad_h);
     let ow = out_dim(w, kw, stride, pad_w);
     let rows = c * kh * kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
+    im2col_into(image, c, h, w, kh, kw, stride, pad_h, pad_w, &mut out);
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// [`im2col`] into a caller-owned buffer of length
+/// `(c·kh·kw) · (oh·ow)` — no allocation. `out` is fully overwritten
+/// (padding positions zeroed), so stale scratch contents are harmless.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(image.len(), c * h * w, "image length mismatch");
+    let oh = out_dim(h, kh, stride, pad_h);
+    let ow = out_dim(w, kw, stride, pad_w);
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    assert_eq!(out.len(), rows * cols, "cols buffer length mismatch");
+    out.fill(0.0);
 
     for ch in 0..c {
         let img_c = &image[ch * h * w..(ch + 1) * h * w];
@@ -63,7 +90,6 @@ pub fn im2col(
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Folds a `(C·KH·KW) × (OH·OW)` column-gradient matrix back into an
@@ -85,8 +111,31 @@ pub fn col2im(
     let ow = out_dim(w, kw, stride, pad_w);
     assert_eq!(cols.shape(), &[c * kh * kw, oh * ow], "cols shape mismatch");
     let mut img = vec![0.0f32; c * h * w];
-    let data = cols.data();
+    col2im_into(cols.data(), c, h, w, kh, kw, stride, pad_h, pad_w, &mut img);
+    img
+}
+
+/// [`col2im`] into a caller-owned image buffer of length `c·h·w` — no
+/// allocation. `img` is overwritten (zeroed, then accumulated into).
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: usize,
+    pad_w: usize,
+    img: &mut [f32],
+) {
+    let oh = out_dim(h, kh, stride, pad_h);
+    let ow = out_dim(w, kw, stride, pad_w);
     let ncols = oh * ow;
+    assert_eq!(data.len(), c * kh * kw * ncols, "cols length mismatch");
+    assert_eq!(img.len(), c * h * w, "image buffer length mismatch");
+    img.fill(0.0);
 
     for ch in 0..c {
         let img_c = &mut img[ch * h * w..(ch + 1) * h * w];
@@ -111,7 +160,6 @@ pub fn col2im(
             }
         }
     }
-    img
 }
 
 /// 2×2 (or general) max-pool of one `(C, H, W)` image. Returns the pooled

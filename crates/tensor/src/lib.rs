@@ -15,11 +15,14 @@ pub mod conv;
 pub mod matmul;
 pub mod ops;
 pub mod rng;
+pub mod scratch;
 pub mod shape_ops;
 #[allow(clippy::module_inception)]
 pub mod tensor;
 
+pub use matmul::{Blocking, PackedT};
 pub use rng::Rng;
+pub use scratch::{Arena, Frame};
 pub use tensor::Tensor;
 
 /// Minimum number of elements before kernels go parallel.

@@ -1,77 +1,621 @@
-//! Parallel blocked matrix multiplication.
+//! Cache-blocked, bit-exact parallel matrix multiplication.
 //!
 //! The kernel underneath every Dense layer, every im2col convolution and
-//! every kernel-matrix in `ml`. Rows of the output are distributed over
-//! the rayon pool; within a row-block we use an ikj loop order so the
-//! inner loop is a contiguous saxpy the compiler can vectorise.
+//! every kernel-matrix in `ml`. The seed kernel was a row-parallel ikj
+//! loop: for each output row, ascending-`kk` saxpy passes over the full
+//! width of `B`, skipping exact structural zeros of `A`. These kernels
+//! keep *that accumulation order per output element* — ascending `kk`,
+//! zero-skip included, one accumulator per element — while reorganising
+//! the loops for cache reuse and wider parallelism:
+//!
+//! * **i-blocking**: rows are distributed over the persistent pool in
+//!   blocks (each element's history is untouched — rows are independent).
+//! * **sequential in-order k-blocking**: `kk` is processed in `KC`-sized
+//!   blocks, *in order*, so for every `(i, j)` the contributions still
+//!   arrive in ascending `kk` — this is the determinism argument: f32
+//!   addition is not associative, but we never reassociate, we only
+//!   re-nest loops around an order-preserving chain.
+//! * **j-tiling**: within a k-block, columns are walked in `NC`-sized
+//!   panels so the `KC×NC` slab of `B` stays cache-resident across all
+//!   rows of the block. Elements of a row are independent, so j-order is
+//!   irrelevant to the result.
+//! * **4-way unrolled saxpy bundles**: four consecutive `kk` taps are
+//!   fused into one pass over the panel, written left-associatively
+//!   (`((((o + a0·b0) + a1·b1) + a2·b2) + a3·b3)`) — the exact same
+//!   per-element chain as four sequential passes. A bundle is only taken
+//!   when all four `a` taps are nonzero; otherwise the scalar zero-skip
+//!   path runs, preserving the seed's sparsity semantics bit for bit
+//!   (skipping a tap is *not* the same as adding `0.0·b` when the
+//!   accumulator is `-0.0` or `b` is non-finite).
+//! * the `m == 1` row-vector case — every batch-1 Dense — parallelises
+//!   over column blocks instead of staying serial.
+//!
+//! [`reference`] keeps the seed kernels verbatim as the bit-exactness
+//! oracle for tests and the baseline for `BENCH_pr4.json`.
 
 use crate::{Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Cache-blocking parameters. Public (and accepted by [`matmul_with`])
+/// so property tests can vary them and assert the result is invariant —
+/// the executable form of the in-order k-blocking argument above.
+#[derive(Debug, Clone, Copy)]
+pub struct Blocking {
+    /// k-block depth: rows of `B` per panel (processed in order).
+    pub kc: usize,
+    /// j-panel width: columns of `B` per panel.
+    pub nc: usize,
+}
+
+impl Default for Blocking {
+    fn default() -> Self {
+        // KC×NC panel of B = 128·512·4 B = 256 KiB: L2-resident across
+        // every row of an i-block on any recent core.
+        Blocking { kc: 128, nc: 512 }
+    }
+}
+
+impl Blocking {
+    fn kc(&self) -> usize {
+        self.kc.max(1)
+    }
+    fn nc(&self) -> usize {
+        self.nc.max(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inner kernels (serial building blocks).
+// ---------------------------------------------------------------------------
+
+/// One saxpy tap: `o += a · b_row`, skipping structural zeros exactly
+/// like the seed kernel.
+#[inline]
+fn saxpy1(a: f32, b_row: &[f32], o: &mut [f32]) {
+    // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
+    if a == 0.0 {
+        return;
+    }
+    for (oo, &bb) in o.iter_mut().zip(b_row) {
+        *oo += a * bb;
+    }
+}
+
+/// Ascending-`kk` saxpy over one `[j0, j0+o.len())` panel of one output
+/// row, taps `k0..k1`. Four-tap bundles when all four `a` values are
+/// nonzero; scalar zero-skip otherwise. Per-element accumulation order
+/// is identical to the seed ikj kernel restricted to this tap range.
+#[inline]
+fn saxpy_panel(a_row: &[f32], b: &[f32], n: usize, k0: usize, k1: usize, j0: usize, o: &mut [f32]) {
+    let w = o.len();
+    let mut kk = k0;
+    while kk + 4 <= k1 {
+        let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+        // lint: allow(float-eq) -- bundle only when no tap needs the zero-skip path
+        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+            let b0 = &b[kk * n + j0..kk * n + j0 + w];
+            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + w];
+            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + w];
+            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + w];
+            for ((((oo, &v0), &v1), &v2), &v3) in
+                o.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                // Left-associative: the same chain as four sequential taps.
+                *oo = (((*oo + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+            }
+        } else {
+            for t in kk..kk + 4 {
+                saxpy1(a_row[t], &b[t * n + j0..t * n + j0 + w], o);
+            }
+        }
+        kk += 4;
+    }
+    while kk < k1 {
+        saxpy1(a_row[kk], &b[kk * n + j0..kk * n + j0 + w], o);
+        kk += 1;
+    }
+}
+
+/// Four-row register-tiled variant of [`saxpy_panel`]: the same tap
+/// range applied to four independent output rows in one pass, so every
+/// `B` panel value is loaded once per four rows instead of once per row.
+/// Each row's element keeps its own ascending-`kk` left-associative
+/// chain — the rows never mix, so this is bit-identical to four
+/// [`saxpy_panel`] calls. The fused 4×4 pass is only taken when all 16
+/// `a` taps are nonzero; any zero drops the affected bundle back to the
+/// per-row zero-skip path.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn saxpy_panel4(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    k1: usize,
+    j0: usize,
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let w = o0.len();
+    let mut kk = k0;
+    while kk + 4 <= k1 {
+        let t0 = [a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]];
+        let t1 = [a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]];
+        let t2 = [a2[kk], a2[kk + 1], a2[kk + 2], a2[kk + 3]];
+        let t3 = [a3[kk], a3[kk + 1], a3[kk + 2], a3[kk + 3]];
+        let dense = t0
+            .iter()
+            .chain(&t1)
+            .chain(&t2)
+            .chain(&t3)
+            // lint: allow(float-eq) -- fused pass only when no tap needs the zero-skip path
+            .all(|&t| t != 0.0);
+        if dense {
+            let b0 = &b[kk * n + j0..kk * n + j0 + w];
+            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + w];
+            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + w];
+            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + w];
+            let (o0, o1, o2, o3) = (
+                &mut o0[..w],
+                &mut o1[..w],
+                &mut o2[..w],
+                &mut o3[..w],
+            );
+            for jj in 0..w {
+                let (v0, v1, v2, v3) = (b0[jj], b1[jj], b2[jj], b3[jj]);
+                o0[jj] = (((o0[jj] + t0[0] * v0) + t0[1] * v1) + t0[2] * v2) + t0[3] * v3;
+                o1[jj] = (((o1[jj] + t1[0] * v0) + t1[1] * v1) + t1[2] * v2) + t1[3] * v3;
+                o2[jj] = (((o2[jj] + t2[0] * v0) + t2[1] * v1) + t2[2] * v2) + t2[3] * v3;
+                o3[jj] = (((o3[jj] + t3[0] * v0) + t3[1] * v1) + t3[2] * v2) + t3[3] * v3;
+            }
+        } else {
+            saxpy_panel(a0, b, n, kk, kk + 4, j0, o0);
+            saxpy_panel(a1, b, n, kk, kk + 4, j0, o1);
+            saxpy_panel(a2, b, n, kk, kk + 4, j0, o2);
+            saxpy_panel(a3, b, n, kk, kk + 4, j0, o3);
+        }
+        kk += 4;
+    }
+    if kk < k1 {
+        saxpy_panel(a0, b, n, kk, k1, j0, o0);
+        saxpy_panel(a1, b, n, kk, k1, j0, o1);
+        saxpy_panel(a2, b, n, kk, k1, j0, o2);
+        saxpy_panel(a3, b, n, kk, k1, j0, o3);
+    }
+}
+
+/// Eight-row register tile: two [`saxpy_panel4`] row groups fused into
+/// one pass over the `B` panel, halving `B` traffic again. Rows stay
+/// independent — bit-identical to eight [`saxpy_panel`] calls. The fused
+/// pass requires all 32 `a` taps nonzero; otherwise the two 4-row groups
+/// fall back independently (which themselves fall back per row).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn saxpy_panel8(
+    a: [&[f32]; 8],
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    k1: usize,
+    j0: usize,
+    o: [&mut [f32]; 8],
+) {
+    let [o0, o1, o2, o3, o4, o5, o6, o7] = o;
+    let w = o0.len();
+    let mut kk = k0;
+    while kk + 4 <= k1 {
+        let t0 = [a[0][kk], a[0][kk + 1], a[0][kk + 2], a[0][kk + 3]];
+        let t1 = [a[1][kk], a[1][kk + 1], a[1][kk + 2], a[1][kk + 3]];
+        let t2 = [a[2][kk], a[2][kk + 1], a[2][kk + 2], a[2][kk + 3]];
+        let t3 = [a[3][kk], a[3][kk + 1], a[3][kk + 2], a[3][kk + 3]];
+        let t4 = [a[4][kk], a[4][kk + 1], a[4][kk + 2], a[4][kk + 3]];
+        let t5 = [a[5][kk], a[5][kk + 1], a[5][kk + 2], a[5][kk + 3]];
+        let t6 = [a[6][kk], a[6][kk + 1], a[6][kk + 2], a[6][kk + 3]];
+        let t7 = [a[7][kk], a[7][kk + 1], a[7][kk + 2], a[7][kk + 3]];
+        let dense = t0
+            .iter()
+            .chain(&t1)
+            .chain(&t2)
+            .chain(&t3)
+            .chain(&t4)
+            .chain(&t5)
+            .chain(&t6)
+            .chain(&t7)
+            // lint: allow(float-eq) -- fused pass only when no tap needs the zero-skip path
+            .all(|&t| t != 0.0);
+        if dense {
+            let b0 = &b[kk * n + j0..kk * n + j0 + w];
+            let b1 = &b[(kk + 1) * n + j0..(kk + 1) * n + j0 + w];
+            let b2 = &b[(kk + 2) * n + j0..(kk + 2) * n + j0 + w];
+            let b3 = &b[(kk + 3) * n + j0..(kk + 3) * n + j0 + w];
+            let (o0, o1, o2, o3) = (&mut o0[..w], &mut o1[..w], &mut o2[..w], &mut o3[..w]);
+            let (o4, o5, o6, o7) = (&mut o4[..w], &mut o5[..w], &mut o6[..w], &mut o7[..w]);
+            for jj in 0..w {
+                let (v0, v1, v2, v3) = (b0[jj], b1[jj], b2[jj], b3[jj]);
+                o0[jj] = (((o0[jj] + t0[0] * v0) + t0[1] * v1) + t0[2] * v2) + t0[3] * v3;
+                o1[jj] = (((o1[jj] + t1[0] * v0) + t1[1] * v1) + t1[2] * v2) + t1[3] * v3;
+                o2[jj] = (((o2[jj] + t2[0] * v0) + t2[1] * v1) + t2[2] * v2) + t2[3] * v3;
+                o3[jj] = (((o3[jj] + t3[0] * v0) + t3[1] * v1) + t3[2] * v2) + t3[3] * v3;
+                o4[jj] = (((o4[jj] + t4[0] * v0) + t4[1] * v1) + t4[2] * v2) + t4[3] * v3;
+                o5[jj] = (((o5[jj] + t5[0] * v0) + t5[1] * v1) + t5[2] * v2) + t5[3] * v3;
+                o6[jj] = (((o6[jj] + t6[0] * v0) + t6[1] * v1) + t6[2] * v2) + t6[3] * v3;
+                o7[jj] = (((o7[jj] + t7[0] * v0) + t7[1] * v1) + t7[2] * v2) + t7[3] * v3;
+            }
+        } else {
+            saxpy_panel4(a[0], a[1], a[2], a[3], b, n, kk, kk + 4, j0, o0, o1, o2, o3);
+            saxpy_panel4(a[4], a[5], a[6], a[7], b, n, kk, kk + 4, j0, o4, o5, o6, o7);
+        }
+        kk += 4;
+    }
+    if kk < k1 {
+        saxpy_panel4(a[0], a[1], a[2], a[3], b, n, kk, k1, j0, o0, o1, o2, o3);
+        saxpy_panel4(a[4], a[5], a[6], a[7], b, n, kk, k1, j0, o4, o5, o6, o7);
+    }
+}
+
+/// Blocked `out_blk += A_blk · B` for a contiguous block of output rows.
+/// `a_blk` holds the matching rows of `A` (row-major, width `k`). Rows
+/// are walked in register tiles of eight, then four, then singly.
+fn block_nn(a_blk: &[f32], b: &[f32], out_blk: &mut [f32], k: usize, n: usize, bl: Blocking) {
+    let rows = out_blk.len() / n;
+    let (kc, nc) = (bl.kc(), bl.nc());
+    let mut k0 = 0;
+    while k0 < k {
+        // In-order k-blocks: ascending kk per element across blocks.
+        let k1 = (k0 + kc).min(k);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + nc).min(n);
+            let mut r = 0;
+            while r + 8 <= rows {
+                let (q0, rest) = out_blk[r * n..(r + 8) * n].split_at_mut(n);
+                let (q1, rest) = rest.split_at_mut(n);
+                let (q2, rest) = rest.split_at_mut(n);
+                let (q3, rest) = rest.split_at_mut(n);
+                let (q4, rest) = rest.split_at_mut(n);
+                let (q5, rest) = rest.split_at_mut(n);
+                let (q6, q7) = rest.split_at_mut(n);
+                saxpy_panel8(
+                    [
+                        &a_blk[r * k..(r + 1) * k],
+                        &a_blk[(r + 1) * k..(r + 2) * k],
+                        &a_blk[(r + 2) * k..(r + 3) * k],
+                        &a_blk[(r + 3) * k..(r + 4) * k],
+                        &a_blk[(r + 4) * k..(r + 5) * k],
+                        &a_blk[(r + 5) * k..(r + 6) * k],
+                        &a_blk[(r + 6) * k..(r + 7) * k],
+                        &a_blk[(r + 7) * k..(r + 8) * k],
+                    ],
+                    b,
+                    n,
+                    k0,
+                    k1,
+                    j0,
+                    [
+                        &mut q0[j0..j1],
+                        &mut q1[j0..j1],
+                        &mut q2[j0..j1],
+                        &mut q3[j0..j1],
+                        &mut q4[j0..j1],
+                        &mut q5[j0..j1],
+                        &mut q6[j0..j1],
+                        &mut q7[j0..j1],
+                    ],
+                );
+                r += 8;
+            }
+            if r + 4 <= rows {
+                let (q0, rest) = out_blk[r * n..(r + 4) * n].split_at_mut(n);
+                let (q1, rest) = rest.split_at_mut(n);
+                let (q2, q3) = rest.split_at_mut(n);
+                saxpy_panel4(
+                    &a_blk[r * k..(r + 1) * k],
+                    &a_blk[(r + 1) * k..(r + 2) * k],
+                    &a_blk[(r + 2) * k..(r + 3) * k],
+                    &a_blk[(r + 3) * k..(r + 4) * k],
+                    b,
+                    n,
+                    k0,
+                    k1,
+                    j0,
+                    &mut q0[j0..j1],
+                    &mut q1[j0..j1],
+                    &mut q2[j0..j1],
+                    &mut q3[j0..j1],
+                );
+                r += 4;
+            }
+            while r < rows {
+                let a_row = &a_blk[r * k..(r + 1) * k];
+                let o = &mut out_blk[r * n + j0..r * n + j1];
+                saxpy_panel(a_row, b, n, k0, k1, j0, o);
+                r += 1;
+            }
+            j0 = j1;
+        }
+        k0 = k1;
+    }
+}
+
+/// Row-dot block for A·Bᵀ: `out_blk[r, j] = ⟨a_row, b_row_j⟩` with a
+/// single sequential accumulator per element — the seed's exact chain.
+/// Four columns are computed per pass with four *independent*
+/// accumulators (one per output element, exactly as the seed — only the
+/// instruction-level interleaving changes, never any chain), which hides
+/// the add-latency that serialises a lone running sum.
+fn block_nt(a_blk: &[f32], b: &[f32], out_blk: &mut [f32], k: usize, n: usize) {
+    let rows = out_blk.len() / n;
+    for r in 0..rows {
+        let a_row = &a_blk[r * k..(r + 1) * k];
+        let o_row = &mut out_blk[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..j * k + k];
+            let b1 = &b[(j + 1) * k..(j + 1) * k + k];
+            let b2 = &b[(j + 2) * k..(j + 2) * k + k];
+            let b3 = &b[(j + 3) * k..(j + 3) * k + k];
+            // `f32::sum()` folds from -0.0 (the IEEE additive identity:
+            // x + -0.0 == x for every x, signed zeros included); the
+            // explicit accumulators must start there too to stay
+            // bit-identical to the seed chain.
+            let (mut s0, mut s1, mut s2, mut s3) = (-0.0f32, -0.0f32, -0.0f32, -0.0f32);
+            for (kk, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            o_row[j] = s0;
+            o_row[j + 1] = s1;
+            o_row[j + 2] = s2;
+            o_row[j + 3] = s3;
+            j += 4;
+        }
+        for (jj, o) in o_row.iter_mut().enumerate().skip(j) {
+            let b_row = &b[jj * k..(jj + 1) * k];
+            *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    }
+}
+
+/// Rows per parallel block: oversubscribe 4× the pool width so uneven
+/// sparsity self-balances through the atomic index.
+fn rows_per_block(m: usize) -> usize {
+    let nblocks = (rayon::current_num_threads() * 4).clamp(1, m);
+    m.div_ceil(nblocks)
+}
+
+/// Column-block width for the `m == 1` split.
+fn cols_per_block(n: usize) -> usize {
+    let nblocks = (rayon::current_num_threads() * 4).clamp(1, n);
+    n.div_ceil(nblocks).max(16).min(n)
+}
+
+// ---------------------------------------------------------------------------
+// Slice-level GEMM entry points (caller-owned outputs; no allocation).
+// ---------------------------------------------------------------------------
+
+/// `out += A · B` for row-major slices: `(m×k) · (k×n)` accumulated into
+/// `out` (length `m·n`; pass zeroed scratch for a plain product).
+/// Bit-identical to the seed ikj kernel for every element.
+pub fn gemm_nn_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    bl: Blocking,
+) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "out length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m == 1 {
+        if k * n >= PAR_THRESHOLD && n > 1 {
+            let cb = cols_per_block(n);
+            out.par_chunks_mut(cb).enumerate().for_each(|(ci, o)| {
+                let j0 = ci * cb;
+                let (kc, _) = (bl.kc(), ());
+                let mut k0 = 0;
+                while k0 < k {
+                    let k1 = (k0 + kc).min(k);
+                    saxpy_panel(a, b, n, k0, k1, j0, o);
+                    k0 = k1;
+                }
+            });
+        } else {
+            block_nn(a, b, out, k, n, bl);
+        }
+        return;
+    }
+    if m * n >= PAR_THRESHOLD {
+        let rb = rows_per_block(m);
+        out.par_chunks_mut(rb * n)
+            .zip(a.par_chunks(rb * k))
+            .for_each(|(oc, ac)| block_nn(ac, b, oc, k, n, bl));
+    } else {
+        block_nn(a, b, out, k, n, bl);
+    }
+}
+
+/// `out = A · Bᵀ` for row-major slices: `(m×k) · (n×k)ᵀ`, overwriting
+/// `out`. Single-accumulator row dots — the seed's exact chain.
+pub fn gemm_nt_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs length mismatch");
+    assert_eq!(b.len(), n * k, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "out length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m == 1 {
+        if n * k >= PAR_THRESHOLD && n > 1 {
+            let cb = cols_per_block(n);
+            out.par_chunks_mut(cb).enumerate().for_each(|(ci, oc)| {
+                let j0 = ci * cb;
+                for (jo, o) in oc.iter_mut().enumerate() {
+                    let j = j0 + jo;
+                    *o = a.iter().zip(&b[j * k..(j + 1) * k]).map(|(x, y)| x * y).sum();
+                }
+            });
+        } else {
+            block_nt(a, b, out, k, n);
+        }
+        return;
+    }
+    if m * n >= PAR_THRESHOLD {
+        let rb = rows_per_block(m);
+        out.par_chunks_mut(rb * n)
+            .zip(a.par_chunks(rb * k))
+            .for_each(|(oc, ac)| block_nt(ac, b, oc, k, n));
+    } else {
+        block_nt(a, b, out, k, n);
+    }
+}
+
+thread_local! {
+    /// Packing scratch for the Aᵀ panel of ad-hoc `matmul_tn` calls.
+    /// Thread-local so the buffer is reused across calls (allocation
+    /// traffic is bounded by the pool width, not the step count);
+    /// batch-reusable packing goes through [`PackedT`] instead.
+    static TN_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Transposes `a` (`k×m`, row-major) into `at` (`m×k`).
+fn pack_transpose(k: usize, m: usize, a: &[f32], at: &mut [f32]) {
+    for kk in 0..k {
+        let src = &a[kk * m..(kk + 1) * m];
+        for (i, &v) in src.iter().enumerate() {
+            at[i * k + kk] = v;
+        }
+    }
+}
+
+/// `out += Aᵀ · B` for row-major slices: `(k×m)ᵀ · (k×n)` accumulated
+/// into `out`. For `m > 1` the transpose is materialised into a
+/// thread-local panel (values are copied, not recombined, so every
+/// element's accumulation chain is unchanged); `m == 1` is already
+/// contiguous and runs the nn kernel directly.
+pub fn gemm_tn_into(
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    bl: Blocking,
+) {
+    assert_eq!(a.len(), k * m, "lhs length mismatch");
+    assert_eq!(b.len(), k * n, "rhs length mismatch");
+    assert_eq!(out.len(), m * n, "out length mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m == 1 {
+        // (k×1)ᵀ is the same bytes as (1×k).
+        gemm_nn_into(1, k, n, a, b, out, bl);
+        return;
+    }
+    TN_PACK.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < m * k {
+            buf.resize(m * k, 0.0);
+        }
+        let at = &mut buf[..m * k];
+        pack_transpose(k, m, a, at);
+        gemm_nn_into(m, k, n, at, b, out, bl);
+    });
+}
+
+/// A lhs-transposed operand packed once and reused across many products
+/// — e.g. the conv weight matrix `Wᵀ` shared by every sample of a batch.
+/// Packing copies values without recombining them, so products through
+/// a `PackedT` are bit-identical to [`matmul_tn`] on the original.
+#[derive(Debug, Default)]
+pub struct PackedT {
+    data: Vec<f32>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedT {
+    pub fn new() -> PackedT {
+        PackedT::default()
+    }
+
+    /// Packs `a` (`k×m`) as `Aᵀ` (`m×k`), reusing the existing buffer
+    /// when large enough.
+    pub fn pack(&mut self, a: &Tensor) {
+        assert_eq!(a.ndim(), 2, "PackedT packs 2-D operands");
+        self.pack_from(a.shape()[0], a.shape()[1], a.data());
+    }
+
+    /// [`PackedT::pack`] from a raw row-major `k×m` slice.
+    pub fn pack_from(&mut self, k: usize, m: usize, a: &[f32]) {
+        assert_eq!(a.len(), k * m, "operand length mismatch");
+        if self.data.len() < m * k {
+            self.data.resize(m * k, 0.0);
+        }
+        pack_transpose(k, m, a, &mut self.data[..m * k]);
+        self.m = m;
+        self.k = k;
+    }
+
+    /// `out += Aᵀ · B` with the packed operand: `(m×k) · (k×n)`.
+    pub fn gemm_into(&self, b: &[f32], n: usize, out: &mut [f32], bl: Blocking) {
+        gemm_nn_into(
+            self.m,
+            self.k,
+            n,
+            &self.data[..self.m * self.k],
+            b,
+            out,
+            bl,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-level API (unchanged signatures).
+// ---------------------------------------------------------------------------
 
 /// `C = A · B` for 2-D tensors: `(m×k) · (k×n) → (m×n)`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(a, b, Blocking::default())
+}
+
+/// [`matmul`] with explicit blocking parameters. The result is invariant
+/// under `bl` — asserted by the property tests — because k-blocks are
+/// processed sequentially in order.
+pub fn matmul_with(a: &Tensor, b: &Tensor, bl: Blocking) -> Tensor {
     assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D");
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
-
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
-
-    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[kk * n..(kk + 1) * n];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * b_kj;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(row_kernel);
-    }
+    gemm_nn_into(m, k, n, a.data(), b.data(), &mut out, bl);
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `C = Aᵀ · B` without materialising the transpose: `(k×m)ᵀ · (k×n)`.
+/// `C = Aᵀ · B` without materialising the transpose at the call site:
+/// `(k×m)ᵀ · (k×n)`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.ndim(), 2);
     assert_eq!(b.ndim(), 2);
     let (k, m) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
-    let a_data = a.data();
-    let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-
-    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
-        for kk in 0..k {
-            let a_ki = a_data[kk * m + i];
-            // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
-            if a_ki == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[kk * n..(kk + 1) * n];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ki * b_kj;
-            }
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(row_kernel);
-    }
+    gemm_tn_into(k, m, n, a.data(), b.data(), &mut out, Blocking::default());
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -82,23 +626,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
-    let a_data = a.data();
-    let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-
-    let row_kernel = |(i, out_row): (usize, &mut [f32])| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-        }
-    };
-
-    if m * n >= PAR_THRESHOLD && m > 1 {
-        out.par_chunks_mut(n).enumerate().for_each(row_kernel);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(row_kernel);
-    }
+    gemm_nt_into(m, k, n, a.data(), b.data(), &mut out);
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -132,6 +661,121 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     }
 }
 
+pub mod reference {
+    //! The seed ikj kernels, kept verbatim (serial form) as the
+    //! bit-exactness oracle for the blocked kernels and the baseline the
+    //! `BENCH_pr4.json` speedups are measured against. The
+    //! `*_spawn_per_call` variants additionally reproduce the seed
+    //! *shim*'s cost model — fresh scoped threads and per-batch item
+    //! `Vec`s on every call — for pool-on-vs-seed comparisons.
+
+    use crate::Tensor;
+
+    /// Seed `matmul`: row-major ikj with structural-zero skip.
+    pub fn matmul_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let (k2, n) = (b.shape()[0], b.shape()[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let (a_data, b_data) = (a.data(), b.data());
+        for (i, out_row) in out.chunks_mut(n.max(1)).enumerate() {
+            row_ikj(&a_data[i * k..(i + 1) * k], b_data, out_row, n);
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    fn row_ikj(a_row: &[f32], b_data: &[f32], out_row: &mut [f32], n: usize) {
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b_kj;
+            }
+        }
+    }
+
+    /// Seed `matmul_tn`: strided-lhs ikj with structural-zero skip.
+    pub fn matmul_tn_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = (a.shape()[0], a.shape()[1]);
+        let (k2, n) = (b.shape()[0], b.shape()[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let (a_data, b_data) = (a.data(), b.data());
+        let mut out = vec![0.0f32; m * n];
+        for (i, out_row) in out.chunks_mut(n.max(1)).enumerate() {
+            for kk in 0..k {
+                let a_ki = a_data[kk * m + i];
+                // lint: allow(float-eq) -- sparsity fast path: skip exact structural zeros
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ki * b_kj;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Seed `matmul_nt`: sequential row dots.
+    pub fn matmul_nt_dot(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let (n, k2) = (b.shape()[0], b.shape()[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let (a_data, b_data) = (a.data(), b.data());
+        let mut out = vec![0.0f32; m * n];
+        for (i, out_row) in out.chunks_mut(n.max(1)).enumerate() {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                *o = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Seed-shim cost model: one fresh scoped OS thread per row batch
+    /// and per-batch index `Vec`s, exactly like the pre-pool rayon shim
+    /// scheduled the seed kernel. Benchmark baseline only.
+    pub fn matmul_ikj_spawn_per_call(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let (k2, n) = (b.shape()[0], b.shape()[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let (a_data, b_data) = (a.data(), b.data());
+        let mut out = vec![0.0f32; m * n];
+        let threads = threads.clamp(1, m.max(1));
+        let batch = m.div_ceil(threads).max(1);
+        // The seed shim materialised the item list, then cloned one Vec
+        // per batch; reproduce that allocation pattern.
+        let rows: Vec<usize> = (0..m).collect();
+        let batches: Vec<Vec<usize>> = rows.chunks(batch).map(|c| c.to_vec()).collect();
+        std::thread::scope(|scope| {
+            // Split the output into per-batch slices first, then spawn.
+            let mut rest: &mut [f32] = &mut out;
+            let mut joins = Vec::new();
+            for rows in &batches {
+                let (head, tail) = rest.split_at_mut(rows.len() * n);
+                rest = tail;
+                let h = scope.spawn(move || {
+                    for (r, out_row) in rows.iter().zip(head.chunks_mut(n.max(1))) {
+                        row_ikj(&a_data[r * k..(r + 1) * k], b_data, out_row, n);
+                    }
+                });
+                joins.push(h);
+            }
+            for h in joins {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +802,32 @@ mod tests {
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() <= tol * (1.0 + x.abs()), "{x} vs {y}");
         }
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: element {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    /// Random tensor with exact structural zeros sprinkled in, to
+    /// exercise the sparsity fast path (and signed zeros to catch a
+    /// `+ 0.0·b` shortcut that the zero-skip must not take).
+    fn sparse_tensor(r: &mut Rng, shape: &[usize]) -> Tensor {
+        let mut t = r.normal_tensor(shape, 1.0);
+        for (i, v) in t.data_mut().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            } else if i % 7 == 0 {
+                *v = -0.0;
+            }
+        }
+        t
     }
 
     #[test]
@@ -221,5 +891,83 @@ mod tests {
     #[should_panic(expected = "inner dimensions differ")]
     fn dimension_mismatch_rejected() {
         let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    /// The headline contract: blocked/unrolled kernels are bit-identical
+    /// to the seed ikj kernels, at shapes that are not multiples of the
+    /// block sizes, at m∈{1,2}, at k=0, and with structural zeros (±0.0)
+    /// exercising the sparsity fast path.
+    #[test]
+    fn blocked_kernels_match_seed_bit_exactly() {
+        let mut r = Rng::seed(77);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 7, 130),
+            (1, 300, 257),
+            (2, 5, 129),
+            (2, 150, 300),
+            (3, 0, 4),
+            (5, 130, 1),
+            (33, 17, 65),
+            (64, 64, 64),
+            (70, 129, 131),
+        ] {
+            let a = sparse_tensor(&mut r, &[m, k]);
+            let b = sparse_tensor(&mut r, &[k, n]);
+            let ctx = format!("nn {m}x{k}x{n}");
+            assert_bits_equal(&matmul(&a, &b), &reference::matmul_ikj(&a, &b), &ctx);
+
+            let at = sparse_tensor(&mut r, &[k, m]);
+            let ctx = format!("tn {k}x{m}x{n}");
+            assert_bits_equal(&matmul_tn(&at, &b), &reference::matmul_tn_ikj(&at, &b), &ctx);
+
+            let bt = sparse_tensor(&mut r, &[n, k]);
+            let ctx = format!("nt {m}x{k}x{n}");
+            assert_bits_equal(&matmul_nt(&a, &bt), &reference::matmul_nt_dot(&a, &bt), &ctx);
+        }
+    }
+
+    /// Blocking parameters must not change a single bit: k-blocks are
+    /// sequential and in order, so any (kc, nc) yields the same chains.
+    #[test]
+    fn blocking_params_are_bit_invariant() {
+        let mut r = Rng::seed(78);
+        let a = sparse_tensor(&mut r, &[37, 91]);
+        let b = sparse_tensor(&mut r, &[91, 53]);
+        let baseline = matmul_with(&a, &b, Blocking { kc: 1, nc: 1 });
+        for (kc, nc) in [(2, 3), (4, 16), (7, 19), (128, 512), (1000, 1000)] {
+            let c = matmul_with(&a, &b, Blocking { kc, nc });
+            assert_bits_equal(&c, &baseline, &format!("kc={kc} nc={nc}"));
+        }
+        assert_bits_equal(&baseline, &reference::matmul_ikj(&a, &b), "vs seed");
+    }
+
+    #[test]
+    fn packed_tn_matches_unpacked_bit_exactly() {
+        let mut r = Rng::seed(79);
+        for (k, m, n) in [(8, 5, 9), (64, 33, 70), (3, 1, 40)] {
+            let a = sparse_tensor(&mut r, &[k, m]);
+            let b = sparse_tensor(&mut r, &[k, n]);
+            let mut p = PackedT::new();
+            p.pack(&a);
+            let mut out = vec![0.0f32; m * n];
+            p.gemm_into(b.data(), n, &mut out, Blocking::default());
+            let packed = Tensor::from_vec(out, &[m, n]);
+            assert_bits_equal(&packed, &matmul_tn(&a, &b), &format!("packed {k}x{m}x{n}"));
+        }
+    }
+
+    #[test]
+    fn spawn_per_call_baseline_matches_seed() {
+        let mut r = Rng::seed(80);
+        let a = sparse_tensor(&mut r, &[19, 23]);
+        let b = sparse_tensor(&mut r, &[23, 31]);
+        for threads in [1, 3, 8] {
+            assert_bits_equal(
+                &reference::matmul_ikj_spawn_per_call(&a, &b, threads),
+                &reference::matmul_ikj(&a, &b),
+                &format!("spawn t={threads}"),
+            );
+        }
     }
 }

@@ -1,15 +1,36 @@
 //! Elementwise operations and reductions, parallelised with rayon above
 //! [`crate::PAR_THRESHOLD`] elements.
+//!
+//! Parallel paths are written in *chunked* form — `par_chunks[_mut]` over
+//! contiguous blocks — rather than per-element `par_iter`, so a stage
+//! over N floats costs O(N/chunk) iterator handles instead of O(N).
+//! Reductions keep the seed's bit-exact shape: fixed 256-element block
+//! partials in slot order, then one sequential in-order final sum (the
+//! same machine-independent f32 tree the shim's `sum` builds).
 
 use crate::{Tensor, PAR_THRESHOLD};
 use rayon::prelude::*;
+
+/// Elements per parallel chunk for elementwise stages.
+const CHUNK: usize = PAR_THRESHOLD;
+
+/// Elements per reduction block — must stay 256 to match the shim's
+/// `par_iter().sum()` tree bit for bit.
+const SUM_BLOCK: usize = 256;
+
+/// 256-block partial sums in slot order + sequential in-order final sum.
+fn block_sum(data: &[f32], per_block: impl Fn(&[f32]) -> f32 + Sync) -> f32 {
+    let partials: Vec<f32> = data.par_chunks(SUM_BLOCK).map(per_block).collect();
+    partials.into_iter().sum()
+}
 
 impl Tensor {
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
         let data = self.data_mut();
         if data.len() >= PAR_THRESHOLD {
-            data.par_iter_mut().for_each(|x| *x = f(*x));
+            data.par_chunks_mut(CHUNK)
+                .for_each(|c| c.iter_mut().for_each(|x| *x = f(*x)));
         } else {
             data.iter_mut().for_each(|x| *x = f(*x));
         }
@@ -47,9 +68,10 @@ impl Tensor {
         let rhs = other.data();
         let lhs = self.data_mut();
         if lhs.len() >= PAR_THRESHOLD {
-            lhs.par_iter_mut()
-                .zip(rhs.par_iter())
-                .for_each(|(a, &b)| *a = f(*a, b));
+            lhs.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, c)| {
+                let r = &rhs[ci * CHUNK..ci * CHUNK + c.len()];
+                c.iter_mut().zip(r).for_each(|(a, &b)| *a = f(*a, b));
+            });
         } else {
             lhs.iter_mut().zip(rhs).for_each(|(a, &b)| *a = f(*a, b));
         }
@@ -69,7 +91,7 @@ impl Tensor {
     pub fn sum(&self) -> f32 {
         let data = self.data();
         if data.len() >= PAR_THRESHOLD {
-            data.par_iter().sum()
+            block_sum(data, |c| c.iter().sum())
         } else {
             data.iter().sum()
         }
@@ -89,7 +111,10 @@ impl Tensor {
         assert!(self.numel() > 0, "max of empty tensor");
         let data = self.data();
         if data.len() >= PAR_THRESHOLD {
-            data.par_iter().cloned().reduce(|| f32::NEG_INFINITY, f32::max)
+            // max is exact (no rounding), so chunked folds are safe.
+            data.par_chunks(CHUNK)
+                .map(|c| c.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)))
+                .reduce(|| f32::NEG_INFINITY, f32::max)
         } else {
             data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
         }
@@ -99,7 +124,7 @@ impl Tensor {
     pub fn sq_norm(&self) -> f32 {
         let data = self.data();
         if data.len() >= PAR_THRESHOLD {
-            data.par_iter().map(|x| x * x).sum()
+            block_sum(data, |c| c.iter().map(|x| x * x).sum())
         } else {
             data.iter().map(|x| x * x).sum()
         }
@@ -110,7 +135,15 @@ impl Tensor {
         assert_eq!(self.numel(), other.numel(), "dot requires equal sizes");
         let (a, b) = (self.data(), other.data());
         if a.len() >= PAR_THRESHOLD {
-            a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
+            let partials: Vec<f32> = a
+                .par_chunks(SUM_BLOCK)
+                .enumerate()
+                .map(|(ci, c)| {
+                    let d = &b[ci * SUM_BLOCK..ci * SUM_BLOCK + c.len()];
+                    c.iter().zip(d).map(|(x, y)| x * y).sum()
+                })
+                .collect();
+            partials.into_iter().sum()
         } else {
             a.iter().zip(b).map(|(x, y)| x * y).sum()
         }
@@ -135,14 +168,14 @@ impl Tensor {
         assert_eq!(self.ndim(), 2);
         let cols = self.shape()[1];
         assert_eq!(bias.numel(), cols, "bias length must equal columns");
-        let b = bias.data().to_vec();
+        let b = bias.data();
         let data = self.data_mut();
         if data.len() >= PAR_THRESHOLD {
             data.par_chunks_mut(cols)
-                .for_each(|row| row.iter_mut().zip(&b).for_each(|(x, bb)| *x += bb));
+                .for_each(|row| row.iter_mut().zip(b).for_each(|(x, bb)| *x += bb));
         } else {
             data.chunks_mut(cols)
-                .for_each(|row| row.iter_mut().zip(&b).for_each(|(x, bb)| *x += bb));
+                .for_each(|row| row.iter_mut().zip(b).for_each(|(x, bb)| *x += bb));
         }
     }
 

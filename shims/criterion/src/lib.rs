@@ -7,9 +7,18 @@
 //! enough iterations to exceed ~5 ms; the median sample is reported as
 //! ns/iter on stdout. No statistics files, no HTML — just numbers you can
 //! eyeball for regressions when running `cargo bench` offline.
+//!
+//! Setting `MSA_BENCH_FAST=1` switches to smoke mode: the calibration
+//! target drops to ~500 µs and samples are capped at 3, so CI can run
+//! every bench target in seconds just to prove they execute.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// True when `MSA_BENCH_FAST=1`: CI smoke mode, numbers not meaningful.
+fn fast_mode() -> bool {
+    std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1")
+}
 
 /// Identifier for one parameterised benchmark case.
 pub struct BenchmarkId {
@@ -60,7 +69,18 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up + calibration: find an iteration count that runs ≥ 5 ms.
+        // Warm-up + calibration: find an iteration count that runs past
+        // the calibration target (≥ 5 ms, or ~500 µs in fast mode).
+        let target = if fast_mode() {
+            Duration::from_micros(500)
+        } else {
+            Duration::from_millis(5)
+        };
+        let samples = if fast_mode() {
+            self.samples.min(3)
+        } else {
+            self.samples
+        };
         let mut iters: u64 = 1;
         loop {
             let t = Instant::now();
@@ -68,12 +88,12 @@ impl Bencher {
                 black_box(f());
             }
             let el = t.elapsed();
-            if el >= Duration::from_millis(5) || iters >= 1 << 20 {
+            if el >= target || iters >= 1 << 20 {
                 break;
             }
             iters = (iters * 4).max(4);
         }
-        let mut per_iter: Vec<f64> = (0..self.samples.max(1))
+        let mut per_iter: Vec<f64> = (0..samples.max(1))
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..iters {

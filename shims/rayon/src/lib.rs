@@ -3,76 +3,50 @@
 //! The build container cannot reach a crates.io registry, so this crate
 //! re-implements the parallel-iterator surface the workspace consumes
 //! (`par_iter`, `into_par_iter`, `par_chunks[_mut]`, `map`, `filter`,
-//! `zip`, `fold`/`reduce`, `for_each`, `sum`, `collect`, …) on top of
-//! `std::thread::scope`.
+//! `zip`, `fold`/`reduce`, `for_each`, `sum`, `collect`, `join`, …) on
+//! top of a persistent thread pool (see [`pool`]).
 //!
-//! Unlike rayon there is no global work-stealing pool: each parallel
-//! stage materialises its items and splits them into contiguous batches,
-//! one OS thread per batch (bounded by `std::thread::available_parallelism`).
-//! That keeps the semantics rayon guarantees — order-preserving results,
-//! `Sync` closures, per-batch `fold` accumulators — while staying
-//! dependency-free. Workloads in this repo parallelise over coarse items
-//! (images, restarts, matrix rows), so batch-per-thread is an adequate
-//! schedule.
+//! Unlike the seed shim there is no per-stage thread spawn and no
+//! per-batch item cloning: workers are spawned once and parked on a
+//! condvar, a stage splits into blocks claimed through an atomic index
+//! (work stealing by index splitting), and terminal operations move
+//! elements straight out of the input buffer into per-slot results (see
+//! [`batch`]). The semantics rayon guarantees are preserved —
+//! order-preserving results, `Sync` closures, per-batch `fold`
+//! accumulators with the batch partition `⌈n/threads⌉`, and the
+//! fixed-256-block machine-independent `sum` tree.
+//!
+//! Pool controls (this shim's extension surface, used by tests/benches):
+//! [`init_with_threads`] pins the pool size before first use,
+//! [`serial_scope`] runs a closure with every parallel stage inlined
+//! (the "pool-off" switch determinism tests compare against),
+//! [`current_num_threads`] reports the partition width, and
+//! `MSA_POOL_THREADS` overrides `available_parallelism` (0/1 disables
+//! the pool).
 
-use std::num::NonZeroUsize;
+mod batch;
+mod pool;
+
+pub use pool::{current_num_threads, init_with_threads, join, serial_scope};
 
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
-        ParallelRefIterator, ParallelRefMutIterator,
+        IntoParallelIterator, ParallelIterator, ParallelRefIterator, ParallelRefMutIterator,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
-/// Minimum items per spawned batch; below this, run inline.
-const MIN_BATCH: usize = 1;
-
-fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+/// Seed-compatible batch partition: `⌈n/threads⌉` elements per batch,
+/// every batch full-size except the last. A pure function of
+/// `(n, current_num_threads())`, so accumulator structure is identical
+/// pool-on and pool-off.
+fn fold_batch(n: usize) -> usize {
+    let threads = pool::current_num_threads().min(n.max(1)).max(1);
+    n.div_ceil(threads)
 }
 
-/// Runs `f` over `items` in parallel batches, preserving order.
-fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = max_threads().min(n.div_ceil(MIN_BATCH)).max(1);
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let batch = n.div_ceil(threads);
-    let mut batches: Vec<Vec<T>> = Vec::new();
-    let mut it = items.into_iter();
-    loop {
-        let b: Vec<T> = it.by_ref().take(batch).collect();
-        if b.is_empty() {
-            break;
-        }
-        batches.push(b);
-    }
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(batches.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batches
-            .into_iter()
-            .map(|b| scope.spawn(move || b.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(v) => out.push(v),
-                Err(e) => std::panic::resume_unwind(e),
-            }
-        }
-    });
-    out.into_iter().flatten().collect()
-}
-
-/// An eager, order-preserving "parallel iterator": adapters that run user
-/// closures execute them across scoped threads, then hand back the
+/// An eager, order-preserving "parallel iterator": adapters that run
+/// user closures execute them across the pool, then hand back the
 /// materialised results.
 pub struct Par<T> {
     items: Vec<T>,
@@ -87,7 +61,7 @@ impl<T: Send> Par<T> {
         F: Fn(T) -> R + Sync,
     {
         Par {
-            items: par_map_vec(self.items, &f),
+            items: batch::consume_map(self.items, f),
         }
     }
 
@@ -99,7 +73,10 @@ impl<T: Send> Par<T> {
         I::IntoIter: Send,
         I: Send,
     {
-        let nested = par_map_vec(self.items, &|x| f(x).into_iter().collect::<Vec<R>>());
+        let chunk = fold_batch(self.items.len());
+        let nested: Vec<Vec<R>> = batch::consume_chunks(self.items, chunk, |it| {
+            it.flat_map(&f).collect()
+        });
         Par {
             items: nested.into_iter().flatten().collect(),
         }
@@ -109,7 +86,9 @@ impl<T: Send> Par<T> {
     where
         P: Fn(&T) -> bool + Sync,
     {
-        let kept = par_map_vec(self.items, &|x| if pred(&x) { Some(x) } else { None });
+        let chunk = fold_batch(self.items.len());
+        let kept: Vec<Vec<T>> =
+            batch::consume_chunks(self.items, chunk, |it| it.filter(|x| pred(x)).collect());
         Par {
             items: kept.into_iter().flatten().collect(),
         }
@@ -120,7 +99,9 @@ impl<T: Send> Par<T> {
         R: Send,
         F: Fn(T) -> Option<R> + Sync,
     {
-        let kept = par_map_vec(self.items, &f);
+        let chunk = fold_batch(self.items.len());
+        let kept: Vec<Vec<R>> =
+            batch::consume_chunks(self.items, chunk, |it| it.filter_map(&f).collect());
         Par {
             items: kept.into_iter().flatten().collect(),
         }
@@ -142,12 +123,14 @@ impl<T: Send> Par<T> {
     where
         F: Fn(T) + Sync,
     {
-        let _ = par_map_vec(self.items, &|x| f(x));
+        batch::consume_map(self.items, f);
     }
 
     /// Rayon-style fold: each batch folds into its own accumulator seeded
     /// by `identity`; the result is a parallel iterator over the per-batch
-    /// accumulators (combine them with [`Par::reduce`]).
+    /// accumulators (combine them with [`Par::reduce`]). Batches are the
+    /// contiguous `⌈n/threads⌉` partition regardless of which worker runs
+    /// them, so the accumulator structure is deterministic.
     pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<A>
     where
         A: Send,
@@ -155,37 +138,15 @@ impl<T: Send> Par<T> {
         F: Fn(A, T) -> A + Sync,
     {
         let n = self.items.len();
-        let threads = max_threads().min(n.max(1)).max(1);
-        if threads <= 1 || n <= 1 {
+        if n <= 1 || pool::current_num_threads() <= 1 {
             return Par {
                 items: vec![self.items.into_iter().fold(identity(), fold_op)],
             };
         }
-        let batch = n.div_ceil(threads);
-        let mut batches: Vec<Vec<T>> = Vec::new();
-        let mut it = self.items.into_iter();
-        loop {
-            let b: Vec<T> = it.by_ref().take(batch).collect();
-            if b.is_empty() {
-                break;
-            }
-            batches.push(b);
+        let chunk = fold_batch(n);
+        Par {
+            items: batch::consume_chunks(self.items, chunk, |it| it.fold(identity(), &fold_op)),
         }
-        let mut accs: Vec<A> = Vec::with_capacity(batches.len());
-        let (id_ref, fold_ref) = (&identity, &fold_op);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = batches
-                .into_iter()
-                .map(|b| scope.spawn(move || b.into_iter().fold(id_ref(), fold_ref)))
-                .collect();
-            for h in handles {
-                match h.join() {
-                    Ok(a) => accs.push(a),
-                    Err(e) => std::panic::resume_unwind(e),
-                }
-            }
-        });
-        Par { items: accs }
     }
 
     /// Rayon-style reduce: combines all items with `op`, seeding each
@@ -207,22 +168,16 @@ impl<T: Send> Par<T> {
 
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<T> + std::iter::Sum<S>,
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
     {
         // Rayon sums by splitting and reducing partial sums, which keeps
         // f32 error small; a single sequential fold loses low bits once
         // the running total dwarfs the addends. Match the tree numerics
-        // with fixed-size blocks so the result is also machine-independent.
+        // with fixed-size blocks so the result is also machine-independent
+        // (and identical to the seed shim bit for bit): per-256-block
+        // partials in block order, then an in-order sum of the partials.
         const BLOCK: usize = 256;
-        let mut it = self.items.into_iter();
-        let mut partials: Vec<S> = Vec::new();
-        loop {
-            let chunk: Vec<T> = it.by_ref().take(BLOCK).collect();
-            if chunk.is_empty() {
-                break;
-            }
-            partials.push(chunk.into_iter().sum());
-        }
+        let partials: Vec<S> = batch::consume_chunks(self.items, BLOCK, |it| it.sum());
         partials.into_iter().sum()
     }
 
@@ -334,8 +289,8 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     where
         F: Fn(&T, &T) -> std::cmp::Ordering,
     {
-        // Sequential merge-free fallback: sorting is never a hot path in
-        // this workspace (used once to globally order shuffled keys).
+        // Sequential fallback: sorting is never a hot path in this
+        // workspace (used once to globally order shuffled keys).
         self.sort_by(cmp);
     }
 }
@@ -344,8 +299,16 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 mod tests {
     use super::prelude::*;
 
+    /// Force a real multi-worker pool regardless of host core count (the
+    /// CI container may expose a single CPU). First caller wins; every
+    /// test asks for the same size so ordering doesn't matter.
+    fn pool4() {
+        let _ = crate::init_with_threads(4);
+    }
+
     #[test]
     fn map_preserves_order() {
+        pool4();
         let v: Vec<u64> = (0..10_000).collect();
         let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
@@ -353,6 +316,7 @@ mod tests {
 
     #[test]
     fn into_par_iter_on_range_and_vec() {
+        pool4();
         let a: Vec<usize> = (0usize..100).into_par_iter().map(|i| i + 1).collect();
         assert_eq!(a[0], 1);
         assert_eq!(a[99], 100);
@@ -362,6 +326,7 @@ mod tests {
 
     #[test]
     fn fold_then_reduce_matches_serial() {
+        pool4();
         let v: Vec<u64> = (1..=1000).collect();
         let total = v
             .par_iter()
@@ -372,6 +337,7 @@ mod tests {
 
     #[test]
     fn reduce_with_identity() {
+        pool4();
         let v = [3.0f32, -1.0, 7.5, 2.0];
         let m = v.par_iter().cloned().reduce(|| f32::NEG_INFINITY, f32::max);
         assert_eq!(m, 7.5);
@@ -379,6 +345,7 @@ mod tests {
 
     #[test]
     fn chunks_mut_parallel_write() {
+        pool4();
         let mut v = vec![0u32; 64];
         v.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
             for x in c.iter_mut() {
@@ -392,6 +359,7 @@ mod tests {
 
     #[test]
     fn filter_zip_count() {
+        pool4();
         let a = [1, 2, 3, 4, 5, 6];
         let b = [1, 0, 3, 0, 5, 0];
         let n = a
@@ -404,6 +372,7 @@ mod tests {
 
     #[test]
     fn panics_propagate() {
+        pool4();
         let caught = std::panic::catch_unwind(|| {
             let v: Vec<usize> = (0..100).collect();
             v.par_iter().for_each(|&x| {
@@ -413,5 +382,128 @@ mod tests {
             });
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_survives_panic_and_keeps_working() {
+        pool4();
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(|| {
+                (0..64usize).into_par_iter().for_each(|x| {
+                    if x == 13 {
+                        panic!("boom {round}");
+                    }
+                });
+            });
+            assert!(caught.is_err());
+            let s: usize = (0..100usize).into_par_iter().sum();
+            assert_eq!(s, 4950);
+        }
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        pool4();
+        let (a, b) = crate::join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+        // Recursive splitting.
+        fn par_sum(v: &[u64]) -> u64 {
+            if v.len() <= 8 {
+                return v.iter().sum();
+            }
+            let (lo, hi) = v.split_at(v.len() / 2);
+            let (a, b) = crate::join(|| par_sum(lo), || par_sum(hi));
+            a + b
+        }
+        let v: Vec<u64> = (1..=1000).collect();
+        assert_eq!(par_sum(&v), 500_500);
+        let caught = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || panic!("right branch"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn serial_scope_matches_pool_results() {
+        pool4();
+        let v: Vec<f32> = (0..100_000).map(|i| (i % 97) as f32 * 0.25).collect();
+        let on: f32 = v.par_iter().sum();
+        let off: f32 = crate::serial_scope(|| v.par_iter().sum());
+        assert_eq!(on.to_bits(), off.to_bits());
+        let mapped_on: Vec<f32> = v.par_iter().map(|&x| x * 3.0 + 1.0).collect();
+        let mapped_off: Vec<f32> =
+            crate::serial_scope(|| v.par_iter().map(|&x| x * 3.0 + 1.0).collect());
+        assert_eq!(mapped_on, mapped_off);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_without_deadlock() {
+        pool4();
+        let outer: Vec<usize> = (0..16usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: usize = (0..100usize).into_par_iter().map(|j| i + j).sum();
+                inner
+            })
+            .collect();
+        for (i, s) in outer.iter().enumerate() {
+            assert_eq!(*s, 100 * i + 4950);
+        }
+    }
+
+    #[test]
+    fn sum_tree_is_block_structured() {
+        pool4();
+        // 1e7 as f32 swallows +0.25 increments under sequential
+        // accumulation; the 256-block tree must not.
+        let v = vec![0.25f32; 100_000];
+        let s: f32 = v.par_iter().cloned().sum();
+        assert_eq!(s, 25_000.0);
+    }
+
+    #[test]
+    fn empty_and_single_item_edge_cases() {
+        pool4();
+        let empty: Vec<u32> = Vec::new();
+        let s: u32 = empty.par_iter().cloned().sum();
+        assert_eq!(s, 0);
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+        let folded = one
+            .par_iter()
+            .fold(|| 0u32, |a, &x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(folded, 41);
+    }
+
+    #[test]
+    fn drops_are_balanced() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        pool4();
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] usize);
+        impl D {
+            fn new(i: usize) -> D {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                D(i)
+            }
+        }
+        impl Drop for D {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let items: Vec<D> = (0..1000).map(D::new).collect();
+        assert_eq!(LIVE.load(Ordering::SeqCst), 1000);
+        // map consumes and produces owned values...
+        let mapped: Vec<D> = items.into_par_iter().map(|d| D::new(d.0 + 1)).collect();
+        assert_eq!(LIVE.load(Ordering::SeqCst), 1000);
+        // ...filter drops the rejected half...
+        let kept: Vec<D> = mapped.into_par_iter().filter(|d| d.0 % 2 == 0).collect();
+        assert_eq!(LIVE.load(Ordering::SeqCst), 500);
+        // ...and for_each consumes everything.
+        kept.into_par_iter().for_each(drop);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
     }
 }

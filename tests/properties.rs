@@ -273,6 +273,67 @@ fn matmul_transpose_identities() {
     }
 }
 
+/// PR4 invariant: blocking never reassociates the sum. The cache-blocked
+/// matmul walks k-panels in ascending order and accumulates each output
+/// element in the seed's exact per-element order, so the panel split
+/// points are invisible in the bits — for *every* blocking parameter,
+/// with the thread pool on or off ([`rayon::serial_scope`]), the result
+/// equals the seed's serial ikj/dot kernels under exact `to_bits`
+/// equality, not a tolerance.
+#[test]
+fn matmul_k_blocking_never_reassociates_the_sum() {
+    use msa_suite::tensor::matmul::{matmul_with, reference, Blocking};
+
+    fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+        assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+        for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} elem {i}: {x} vs {y}");
+        }
+    }
+
+    // Widen the pool even on a 1-CPU runner so the parallel path is the
+    // one under test (first caller wins; every kernel is width-invariant).
+    rayon::init_with_threads(4);
+    let mut xs = Xs::new(61);
+    for case in 0u64..10 {
+        // Odd shapes straddle every tile boundary: 8/4-row register
+        // tiles, 4-column nt chains, kc/nc panel edges. k = 0 is legal.
+        let (m, k, n) = (1 + xs.below(41), xs.below(49), 1 + xs.below(41));
+        let mut rng = msa_suite::tensor::Rng::seed(100 + case);
+        let a = rng.normal_tensor(&[m, k], 1.0);
+        let b = rng.normal_tensor(&[k, n], 1.0);
+        let tag = format!("case {case} ({m}x{k})·({k}x{n})");
+
+        let want = reference::matmul_ikj(&a, &b);
+        assert_bits_eq(&matmul(&a, &b), &want, &format!("{tag} pool-on"));
+        assert_bits_eq(
+            &rayon::serial_scope(|| matmul(&a, &b)),
+            &want,
+            &format!("{tag} pool-off"),
+        );
+        for (kc, nc) in [(1, 1), (3, 5), (7, 64), (1024, 1024)] {
+            assert_bits_eq(
+                &matmul_with(&a, &b, Blocking { kc, nc }),
+                &want,
+                &format!("{tag} blocking kc={kc} nc={nc}"),
+            );
+        }
+
+        let at = rng.normal_tensor(&[k, m], 1.0);
+        assert_bits_eq(
+            &matmul_tn(&at, &b),
+            &reference::matmul_tn_ikj(&at, &b),
+            &format!("{tag} tn"),
+        );
+        let bt = rng.normal_tensor(&[n, k], 1.0);
+        assert_bits_eq(
+            &matmul_nt(&a, &bt),
+            &reference::matmul_nt_dot(&a, &bt),
+            &format!("{tag} nt"),
+        );
+    }
+}
+
 #[test]
 fn softmax_rows_are_distributions() {
     let mut xs = Xs::new(53);
