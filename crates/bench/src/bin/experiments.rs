@@ -5,9 +5,10 @@
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- obs BENCH_pr3.json
 //! cargo run --release -p bench --bin experiments -- kernels BENCH_pr4.json
+//! cargo run --release -p bench --bin experiments -- comm BENCH_pr5.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels> [more ids… | output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -25,6 +26,10 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels> [more ids… |
   obs deterministic observability report -> BENCH_pr3.json (or given path)
   kernels [--counters] kernel throughput + bit-exactness report
       -> BENCH_pr4.json (or given path); --counters emits only the
+      deterministic section (CI byte-compares two runs)
+  comm [--counters] collective wire counters, fused-vs-serialized
+      bit-equality, overlap speedup + allreduce timing sweep
+      -> BENCH_pr5.json (or given path); --counters emits only the
       deterministic section (CI byte-compares two runs)";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
@@ -73,6 +78,32 @@ fn run_kernels(rest: &[String]) -> i32 {
     0
 }
 
+/// Runs the `comm` subcommand (PR 5): deterministic collective wire
+/// counters + fused-vs-serialized bit-equality with `--counters`,
+/// otherwise the full report with the allreduce timing sweep (default
+/// `BENCH_pr5.json`). `MSA_BENCH_FAST=1` shrinks models and repetitions.
+fn run_comm(rest: &[String]) -> i32 {
+    let counters_only = rest.first().is_some_and(|a| a == "--counters");
+    let path_arg = if counters_only { rest.get(1) } else { rest.first() };
+    let default = if counters_only {
+        "BENCH_pr5_counters.json"
+    } else {
+        "BENCH_pr5.json"
+    };
+    let path = path_arg.map_or(default, String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (counters, full) = bench::comm::comm_report(fast);
+    let body = if counters_only { counters } else { full };
+    if let Err(e) = std::fs::write(path, &body) {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote comm report to {path}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -86,6 +117,9 @@ fn main() {
     }
     if args[0] == "kernels" {
         std::process::exit(run_kernels(&args[1..]));
+    }
+    if args[0] == "comm" {
+        std::process::exit(run_comm(&args[1..]));
     }
     for id in &args {
         // lint: allow(print) -- CLI report output

@@ -34,7 +34,7 @@ const POOL_THREADS: usize = 4;
 
 /// Order-sensitive FNV-style hash over the exact f32 bit patterns: any
 /// single-bit deviation in any element changes the checksum.
-fn bits_hash(data: &[f32]) -> u64 {
+pub(crate) fn bits_hash(data: &[f32]) -> u64 {
     data.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &v| {
         (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3)
     })
@@ -44,7 +44,7 @@ fn bits_hash(data: &[f32]) -> u64 {
 /// is the noise-robust estimator here: scheduler preemption and
 /// frequency dips only ever make a run *slower*, so the fastest
 /// observation is the closest to the kernel's true cost.
-fn min_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+pub(crate) fn min_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
     (0..reps.max(1))
         .map(|_| {
             let t = Instant::now();

@@ -112,14 +112,20 @@ pub fn sparse_allreduce_mean<C: Communicator + ?Sized>(
         payload.push(f32::from_bits(i));
         payload.push(v);
     }
-    let all = comm.allgather(&payload);
+    // Equal-block exchange: `k()` depends only on (length, ratio), which
+    // every rank shares, so the payload length is uniform and the flat
+    // slice-path allgather applies — no per-rank `Vec` churn on pooled
+    // transports (the seed's `allgather` allocated one `Vec` per rank per
+    // call).
+    let mut all = vec![0.0f32; comm.size() * payload.len()];
+    comm.allgather_into(&payload, &mut all);
     let n = comm.size() as f32;
     grad.iter_mut().for_each(|g| *g = 0.0);
-    for contribution in all {
-        for pair in contribution.chunks_exact(2) {
-            let i = pair[0].to_bits() as usize;
-            grad[i] += pair[1] / n;
-        }
+    // Rank blocks land in ascending order, so walking flat pairs keeps
+    // the seed's accumulation order exactly.
+    for pair in all.chunks_exact(2) {
+        let i = pair[0].to_bits() as usize;
+        grad[i] += pair[1] / n;
     }
 }
 

@@ -1,0 +1,232 @@
+//! Horovod-style gradient bucket fusion.
+//!
+//! Horovod's tensor-fusion buffer coalesces small gradients into few
+//! large allreduces and launches each as soon as the layers feeding it
+//! have finished backward. This module provides the deterministic core:
+//! [`FusionConfig`] (the fusion threshold + overlap switch, a [`Trainer`]
+//! option) and [`FusionBuffer`], which partitions the flat gradient into
+//! size-targeted, **layer-aligned** buckets with persistent per-bucket
+//! slabs — steady-state packing does zero heap allocation.
+//!
+//! Bucket boundary rules (documented in DESIGN.md §11):
+//! * buckets are contiguous ranges of the flat gradient, covering whole
+//!   top-level layers — a parameter tensor is never split;
+//! * a bucket closes once it holds ≥ `bucket_bytes` of gradient, so every
+//!   bucket except possibly the last meets the threshold;
+//! * backward runs back-to-front, so buckets become ready in descending
+//!   flat order; a bucket is complete right after the backward of its
+//!   lowest-indexed parameterised layer.
+//!
+//! Bit-exactness across bucket counts rests on the exchange being
+//! partition-invariant: the trainer reduces every bucket with
+//! `msa_net::collectives::pipeline_allreduce`, whose element-wise fold
+//! order depends only on rank order, never on how the flat gradient was
+//! cut (asserted in `pipeline_allreduce_is_partition_invariant`).
+//!
+//! [`Trainer`]: crate::trainer::Trainer
+
+use nn::Layer;
+
+/// How the trainer exchanges gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FusionConfig {
+    /// Fusion-buffer target in bytes (Horovod's fusion threshold).
+    /// `None` — the default — keeps the seed behaviour: one
+    /// whole-gradient exchange after backward completes.
+    pub bucket_bytes: Option<usize>,
+    /// Run each bucket's allreduce concurrently with the remaining
+    /// backward pass (comm progress on a dedicated thread-pool lane) and
+    /// price the step as `max(compute_tail, comm)` per bucket.
+    pub overlap: bool,
+}
+
+impl FusionConfig {
+    /// The serialized seed schedule: one exchange after backward.
+    pub fn unfused() -> Self {
+        Self::default()
+    }
+
+    /// Fused + overlapped exchange with the given fusion threshold.
+    pub fn fused(bucket_bytes: usize) -> Self {
+        assert!(bucket_bytes > 0, "fusion threshold must be positive");
+        FusionConfig {
+            bucket_bytes: Some(bucket_bytes),
+            overlap: true,
+        }
+    }
+
+    /// Overrides the overlap switch (builder style).
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+}
+
+/// One fusion bucket: a layer-aligned contiguous range of the flat
+/// gradient plus its persistent exchange slab.
+#[derive(Debug)]
+pub struct Bucket {
+    /// Flat gradient range `[start, end)` this bucket covers.
+    pub start: usize,
+    pub end: usize,
+    /// Lowest-indexed top-level layer with parameters in this bucket.
+    /// Backward visits layers in descending order, so the bucket's
+    /// gradients are final right after this layer's backward.
+    pub first_layer: usize,
+    /// Persistent exchange buffer of `end - start` floats; taken by
+    /// [`FusionBuffer::take_slab`] for the duration of the allreduce.
+    slab: Vec<f32>,
+}
+
+impl Bucket {
+    /// Scalars in this bucket.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the bucket covers no parameters (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Layer-aligned partition of the flat gradient into fusion buckets.
+#[derive(Debug)]
+pub struct FusionBuffer {
+    buckets: Vec<Bucket>,
+    /// `spans[i]` = layer `i`'s `[start, end)` range of the flat
+    /// gradient (empty span for stateless layers).
+    spans: Vec<(usize, usize)>,
+    /// `bucket_of[i]` = index of the bucket holding layer `i`'s
+    /// parameters (meaningless for empty spans).
+    bucket_of: Vec<usize>,
+}
+
+impl FusionBuffer {
+    /// Partitions `total` flat gradient scalars, laid out as
+    /// `layer_spans` (from [`nn::Sequential::layer_param_spans`]), into
+    /// buckets of at least `bucket_bytes` (`None` ⇒ one bucket). Models
+    /// with no parameters yield zero buckets.
+    pub fn new(layer_spans: &[(usize, usize)], total: usize, bucket_bytes: Option<usize>) -> Self {
+        debug_assert_eq!(layer_spans.last().map_or(0, |s| s.1), total);
+        let threshold = bucket_bytes.unwrap_or(usize::MAX);
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut bucket_of = vec![usize::MAX; layer_spans.len()];
+        let mut open: Option<Bucket> = None;
+        for (i, &(start, end)) in layer_spans.iter().enumerate() {
+            if start == end {
+                continue;
+            }
+            let b = open.get_or_insert_with(|| Bucket {
+                start,
+                end: start,
+                first_layer: i,
+                slab: Vec::new(),
+            });
+            b.end = end;
+            b.first_layer = b.first_layer.min(i);
+            bucket_of[i] = buckets.len();
+            if (b.end - b.start) * size_of::<f32>() >= threshold {
+                // lint: allow(unwrap) -- `open` was just populated above
+                buckets.push(open.take().expect("bucket is open"));
+            }
+        }
+        if let Some(b) = open {
+            buckets.push(b);
+        }
+        for b in &mut buckets {
+            b.slab = vec![0.0; b.end - b.start];
+        }
+        FusionBuffer {
+            buckets,
+            spans: layer_spans.to_vec(),
+            bucket_of,
+        }
+    }
+
+    /// The buckets in ascending flat order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Copies layer `i`'s parameter gradients into its bucket slab
+    /// (zero-allocation). Returns `Some(bucket_index)` when this layer
+    /// completes the bucket — backward order guarantees every other
+    /// layer of the bucket has already been packed.
+    pub fn pack_layer(&mut self, i: usize, layer: &dyn Layer) -> Option<usize> {
+        let (start, end) = self.spans[i];
+        if start == end {
+            return None;
+        }
+        let bidx = self.bucket_of[i];
+        let b = &mut self.buckets[bidx];
+        let off = start - b.start;
+        nn::param::copy_grads_into(&layer.params(), &mut b.slab[off..off + (end - start)]);
+        (i == b.first_layer).then_some(bidx)
+    }
+
+    /// Takes bucket `bidx`'s slab for the exchange (ownership moves to
+    /// the comm lane); pair with [`FusionBuffer::return_slab`].
+    pub fn take_slab(&mut self, bidx: usize) -> Vec<f32> {
+        std::mem::take(&mut self.buckets[bidx].slab)
+    }
+
+    /// Returns an exchanged slab to its bucket for reuse next step.
+    pub fn return_slab(&mut self, bidx: usize, slab: Vec<f32>) {
+        debug_assert_eq!(slab.len(), self.buckets[bidx].len());
+        self.buckets[bidx].slab = slab;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfused_is_one_bucket_covering_everything() {
+        let spans = [(0, 40), (40, 40), (40, 58)];
+        let fb = FusionBuffer::new(&spans, 58, None);
+        assert_eq!(fb.buckets().len(), 1);
+        let b = &fb.buckets()[0];
+        assert_eq!((b.start, b.end, b.first_layer), (0, 58, 0));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn buckets_align_to_layer_boundaries_and_meet_the_threshold() {
+        // Layers of 10/6/0/8/4 floats, 32-byte threshold (8 floats).
+        let spans = [(0, 10), (10, 16), (16, 16), (16, 24), (24, 28)];
+        let fb = FusionBuffer::new(&spans, 28, Some(32));
+        let got: Vec<(usize, usize, usize)> = fb
+            .buckets()
+            .iter()
+            .map(|b| (b.start, b.end, b.first_layer))
+            .collect();
+        // Layer 0 alone meets the threshold; 1+3 fuse; 4 trails.
+        assert_eq!(got, vec![(0, 10, 0), (10, 24, 1), (24, 28, 4)]);
+        // Every bucket except the last meets the threshold.
+        for b in &fb.buckets()[..fb.buckets().len() - 1] {
+            assert!(b.len() * size_of::<f32>() >= 32);
+        }
+        // Buckets tile the flat gradient.
+        assert_eq!(fb.buckets()[0].start, 0);
+        assert_eq!(fb.buckets().last().unwrap().end, 28);
+        for w in fb.buckets().windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn tiny_threshold_gives_one_bucket_per_parameterised_layer() {
+        let spans = [(0, 3), (3, 3), (3, 7), (7, 12)];
+        let fb = FusionBuffer::new(&spans, 12, Some(1));
+        assert_eq!(fb.buckets().len(), 3);
+        assert_eq!(fb.buckets()[1].first_layer, 2);
+    }
+
+    #[test]
+    fn parameterless_model_has_no_buckets() {
+        let fb = FusionBuffer::new(&[(0, 0), (0, 0)], 0, Some(1024));
+        assert!(fb.buckets().is_empty());
+    }
+}

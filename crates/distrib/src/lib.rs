@@ -21,12 +21,14 @@
 
 pub mod checkpoint;
 pub mod compress;
+pub mod fusion;
 pub mod modular;
 pub mod perf;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
 pub use compress::{sparse_allreduce_mean, TopKCompressor};
+pub use fusion::{FusionBuffer, FusionConfig};
 pub use modular::{MlCampaign, WorkflowCost};
 pub use perf::{ScalingModel, ScalingPoint};
 pub use trainer::{

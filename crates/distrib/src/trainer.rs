@@ -57,10 +57,12 @@
 //! **bit-identical** to the run that was never killed.
 
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
+use crate::fusion::{FusionBuffer, FusionConfig};
 use data::Dataset;
 use msa_core::SimTime;
 use msa_net::{
-    CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled, ThreadComm,
+    collectives, CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled,
+    ThreadComm,
 };
 use msa_obs::{key, MetricsRegistry, Recorder, VirtualClock};
 use nn::{serialize, u64_to_words, words_to_u64, Layer, Loss, Optimizer, Sequential};
@@ -181,16 +183,25 @@ pub struct PhaseBreakdown {
     pub stage_ps: u64,
     /// Forward + backward compute.
     pub compute_ps: u64,
-    /// Gradient allreduce.
+    /// Gradient allreduce (full per-bucket α–β cost, as if serialized).
     pub allreduce_ps: u64,
     /// Checkpoint serialisation + write (priced on rank 0).
     pub checkpoint_ps: u64,
+    /// Allreduce picoseconds hidden under the backward tail by the
+    /// fused, overlapped exchange — each bucket is priced
+    /// `max(compute_tail, comm)` instead of `compute + allreduce`, and
+    /// the hidden part lands here so [`PhaseBreakdown::total_ps`] stays
+    /// exactly equal to the virtual wall clock. Zero on the serialized
+    /// path.
+    pub overlap_saved_ps: u64,
 }
 
 impl PhaseBreakdown {
-    /// Sum of all phases in picoseconds.
+    /// Modeled wall time in picoseconds: the phase sum, minus the
+    /// allreduce share that ran concurrently with compute.
     pub fn total_ps(&self) -> u64 {
         self.stage_ps + self.compute_ps + self.allreduce_ps + self.checkpoint_ps
+            - self.overlap_saved_ps
     }
 
     /// Sum of all phases as a [`SimTime`].
@@ -203,6 +214,7 @@ impl PhaseBreakdown {
         self.compute_ps += other.compute_ps;
         self.allreduce_ps += other.allreduce_ps;
         self.checkpoint_ps += other.checkpoint_ps;
+        self.overlap_saved_ps += other.overlap_saved_ps;
     }
 }
 
@@ -323,6 +335,7 @@ pub struct Trainer {
     snapshot: Option<Vec<u8>>,
     recorder: Option<Arc<MetricsRegistry>>,
     cost: StepCost,
+    fusion: FusionConfig,
     tag: Option<String>,
 }
 
@@ -334,6 +347,7 @@ impl std::fmt::Debug for Trainer {
             .field("snapshot_bytes", &self.snapshot.as_ref().map(Vec::len))
             .field("recorder", &self.recorder.is_some())
             .field("cost", &self.cost)
+            .field("fusion", &self.fusion)
             .field("tag", &self.tag)
             .finish()
     }
@@ -349,6 +363,7 @@ impl Trainer {
             snapshot: None,
             recorder: None,
             cost: StepCost::default(),
+            fusion: FusionConfig::default(),
             tag: None,
         }
     }
@@ -390,6 +405,16 @@ impl Trainer {
         self
     }
 
+    /// Configures the gradient exchange: Horovod-style bucket fusion
+    /// (`bucket_bytes`) and backward/allreduce overlap. The default is
+    /// the serialized seed schedule. Every setting produces
+    /// `to_bits`-identical training results — the exchange is
+    /// partition-invariant by construction (see `crate::fusion`).
+    pub fn fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Labels every metric this run records with `run=<tag>`, so several
     /// runs can share one registry without colliding.
     pub fn tag(mut self, tag: impl Into<String>) -> Self {
@@ -427,6 +452,7 @@ impl Trainer {
             self.fault,
             resume.as_ref(),
             &self.cost,
+            self.fusion,
             self.tag.as_deref(),
             self.recorder.as_deref(),
         ))
@@ -576,6 +602,7 @@ fn run_engine<M, O, L>(
     fault: Option<FaultPlan>,
     resume: Option<&ResumeState>,
     cost: &StepCost,
+    fusion: FusionConfig,
     tag: Option<&str>,
     recorder: Option<&MetricsRegistry>,
 ) -> TrainOutcome
@@ -590,7 +617,7 @@ where
 
     let opts = CommOptions::new().fault_opt(fault).link(cost.link);
     let results = ThreadComm::run_with(cfg.workers, &opts, |comm| {
-        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, tag)
+        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, tag)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
@@ -627,6 +654,7 @@ fn train_rank<M, O, L>(
     loss: &L,
     resume: Option<&ResumeState>,
     cost: &StepCost,
+    fusion_cfg: FusionConfig,
     tag: Option<&str>,
 ) -> RankRun
 where
@@ -685,6 +713,18 @@ where
     let mut epoch_bds: Vec<EpochBreakdown> = Vec::new();
     let mut steps_run: u64 = 0;
     let mut allreduce_bytes: u64 = 0;
+
+    // Persistent gradient-exchange state: the layer-aligned fusion
+    // buckets, the flat gradient staging buffer, and the collectives'
+    // scratch arena — all warm after the first step, so steady-state
+    // exchanges allocate nothing.
+    let mut fusion = FusionBuffer::new(
+        &model.layer_param_spans(),
+        n_params,
+        fusion_cfg.bucket_bytes,
+    );
+    let mut flat = vec![0.0f32; n_params];
+    let mut comm_arena = msa_net::Arena::new();
 
     for epoch in start_epoch..cfg.epochs {
         let lr = effective_lr(cfg, epoch);
@@ -746,21 +786,69 @@ where
             let batch_bytes = ((bx.data().len() + by.data().len()) * size_of::<f32>()) as u64;
             eb.stage_ps += clock.advance(cost.stage_time(batch_bytes));
 
-            // Phase 2: forward + backward.
+            // Phases 2+3: forward + backward, and the Horovod moment —
+            // average gradients across ranks. With overlap on, each
+            // fusion bucket's allreduce launches on a pool lane as soon
+            // as its layers finish backward; otherwise the exchange runs
+            // serialized after backward. Both paths reduce every bucket
+            // with the partition-invariant pipeline schedule, so the
+            // averaged gradient bits never depend on `bucket_bytes`.
             model.zero_grad();
             let pred = model.forward(&bx, true);
             let (l, grad) = loss.compute(&pred, &by);
-            model.backward(&grad);
             let samples = bx.shape()[0];
-            eb.compute_ps += clock.advance(cost.compute_time(n_params, samples));
+            if fusion_cfg.overlap && !fusion.buckets().is_empty() {
+                exchange_overlapped(comm, &mut model, &grad, &mut fusion, &mut flat, &mut comm_arena);
+            } else {
+                model.backward(&grad);
+                nn::param::copy_grads_into(&model.params(), &mut flat);
+                for b in fusion.buckets().iter().rev() {
+                    let seg = &mut flat[b.start..b.end];
+                    collectives::pipeline_allreduce_with(comm, seg, &mut comm_arena);
+                    for x in seg.iter_mut() {
+                        *x /= size as f32;
+                    }
+                }
+                model.set_grads(&flat);
+            }
 
-            // Phase 3, the Horovod moment: average gradients across ranks.
-            let mut flat = model.grads_vec();
-            let grad_bytes = (flat.len() * size_of::<f32>()) as u64;
-            comm.allreduce_mean(&mut flat);
-            model.set_grads(&flat);
-            eb.allreduce_ps += clock.advance(cost.allreduce_time(size, grad_bytes));
-            allreduce_bytes += grad_bytes;
+            // Price phase 2 …
+            let c_ps = clock.advance(cost.compute_time(n_params, samples));
+            eb.compute_ps += c_ps;
+
+            // … and phase 3: per-bucket α–β allreduce cost, overlapped
+            // against the backward tail when the overlap lane is on.
+            // Backward is 4 of the 6 modeled FLOPs/param, and it sweeps
+            // the flat gradient top-down, so the bucket starting at
+            // flat offset `a` is ready once (total − a)/total of the
+            // backward time has elapsed. Buckets flush back-to-front and
+            // serialize on the comm lane: finish_k = max(finish_{k−1},
+            // ready_k) + allreduce_k. The step's wall time advances by
+            // max(compute, finish_last) − compute; the hidden remainder
+            // is `overlap_saved_ps` (zero when serialized, where every
+            // ready_k = compute).
+            let t_bwd = c_ps * 2 / 3;
+            let total = n_params as u64;
+            let mut finish: u64 = 0;
+            let mut comm_ps: u64 = 0;
+            for b in fusion.buckets().iter().rev() {
+                let bytes = (b.len() * size_of::<f32>()) as u64;
+                let a_ps = msa_obs::simtime_to_ps(cost.allreduce_time(size, bytes));
+                let ready = if fusion_cfg.overlap {
+                    c_ps - t_bwd
+                        + ((t_bwd as u128 * (total - b.start as u64) as u128) / total as u128)
+                            as u64
+                } else {
+                    c_ps
+                };
+                finish = finish.max(ready) + a_ps;
+                comm_ps += a_ps;
+                allreduce_bytes += bytes;
+            }
+            let extra = finish.saturating_sub(c_ps);
+            clock.advance_ps(extra);
+            eb.allreduce_ps += comm_ps;
+            eb.overlap_saved_ps += comm_ps - extra;
 
             opt.step(&mut model.params_mut());
             loss_sum += l as f64;
@@ -870,6 +958,63 @@ where
     }
 }
 
+/// Fused, overlapped gradient exchange — the executed half of the
+/// Horovod schedule. Backward runs on the caller lane; a dedicated
+/// thread-pool lane drains completed buckets and pipeline-allreduces
+/// each while later (earlier-layer) gradients are still being computed.
+///
+/// Deadlock-freedom: `rayon::join` always starts the first closure on
+/// the caller, so the backward producer runs even when the pool is
+/// saturated — the comm lane then executes afterwards on the caller and
+/// simply drains the unbounded channel serialized (correct, just without
+/// overlap). Cross-rank safety is the pipeline schedule's: msa-verify
+/// model-checks the bucketed schedule under `Bounded(1)` channels, and
+/// `ThreadComm`'s credit pools are `Bounded(2)`.
+fn exchange_overlapped(
+    comm: &ThreadComm,
+    model: &mut Sequential,
+    grad: &Tensor,
+    fusion: &mut FusionBuffer,
+    flat: &mut [f32],
+    scratch: &mut msa_net::Arena,
+) {
+    use msa_net::PointToPoint as _;
+    let n = comm.size() as f32;
+    let nb = fusion.buckets().len();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let mut done: Vec<Option<Vec<f32>>> = (0..nb).map(|_| None).collect();
+    rayon::join(
+        || {
+            model.backward_with(grad, |i, layer| {
+                if let Some(bidx) = fusion.pack_layer(i, layer) {
+                    // Unbounded channel: handing the bucket to the comm
+                    // lane never blocks the backward pass. A send error
+                    // is impossible while `rx` lives below.
+                    let _ = tx.send((bidx, fusion.take_slab(bidx)));
+                }
+            });
+            drop(tx);
+        },
+        || {
+            while let Ok((bidx, mut slab)) = rx.recv() {
+                collectives::pipeline_allreduce_with(comm, &mut slab, scratch);
+                for x in slab.iter_mut() {
+                    *x /= n;
+                }
+                done[bidx] = Some(slab);
+            }
+        },
+    );
+    for (bidx, slot) in done.into_iter().enumerate() {
+        // lint: allow(unwrap) -- backward_with visits every layer, so every bucket flushes
+        let slab = slot.expect("every bucket is exchanged");
+        let b = &fusion.buckets()[bidx];
+        flat[b.start..b.end].copy_from_slice(&slab);
+        fusion.return_slab(bidx, slab);
+    }
+    model.set_grads(flat);
+}
+
 /// Dumps one rank's phase totals, step counters and collective traffic
 /// into its local registry. Called on both the completed and the
 /// fault-interrupted exit path so killed runs still report.
@@ -904,6 +1049,7 @@ fn record_rank_metrics(
     }
     reg.add(&key("trainer.steps", &labels), steps_run);
     reg.add(&key("trainer.allreduce.bytes", &labels), allreduce_bytes);
+    reg.time_ps(&key("trainer.overlap.saved", &labels), totals.overlap_saved_ps);
     reg.time_ps(&key("trainer.sim_wall", &labels), sim_wall_ps);
     if let Some(stats) = comm.stats() {
         stats.export().record_into(reg, &labels);
@@ -1294,6 +1440,112 @@ mod tests {
         // shard/batch geometry is identical every epoch).
         assert_eq!(two.epoch_breakdown.len(), 2);
         assert!(two.sim_wall_ps > one.sim_wall_ps);
+    }
+
+    #[test]
+    fn fused_overlapped_training_is_bit_identical_to_serialized() {
+        let ds = toy_dataset(256, 8, 4, 41);
+        let run = |fusion: FusionConfig| {
+            let cfg = TrainConfig {
+                workers: 4,
+                epochs: 3,
+                batch_per_worker: 8,
+                base_lr: 0.05,
+                lr_scaling: true,
+                warmup_epochs: 1,
+                seed: 41,
+                checkpoint: None,
+            };
+            Trainer::new(cfg)
+                .fusion(fusion)
+                .run(
+                    &ds,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+        };
+        let base = run(FusionConfig::unfused());
+        for fusion in [
+            // Fused without overlap, fused + overlapped at several
+            // thresholds (1 KiB splits the MLP into two buckets; tiny
+            // thresholds give one bucket per layer), and overlap with a
+            // single whole-gradient bucket.
+            FusionConfig::fused(1024).overlap(false),
+            FusionConfig::fused(1024),
+            FusionConfig::fused(64),
+            FusionConfig::unfused().overlap(true),
+        ] {
+            let got = run(fusion);
+            let same_params = base
+                .final_params
+                .iter()
+                .zip(&got.final_params)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_params, "{fusion:?}: parameters diverged");
+            assert_eq!(base.final_state, got.final_state, "{fusion:?}: BN state");
+            for (a, b) in base.epochs.iter().zip(&got.epochs) {
+                assert_eq!(
+                    a.mean_loss.to_bits(),
+                    b.mean_loss.to_bits(),
+                    "{fusion:?}: epoch {} loss",
+                    a.epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_pricing_hides_comm_under_the_backward_tail() {
+        let ds = toy_dataset(256, 8, 4, 43);
+        let run = |fusion: FusionConfig| {
+            let cfg = TrainConfig {
+                workers: 4,
+                epochs: 2,
+                batch_per_worker: 16,
+                base_lr: 0.05,
+                lr_scaling: true,
+                warmup_epochs: 1,
+                seed: 43,
+                checkpoint: None,
+            };
+            Trainer::new(cfg)
+                .fusion(fusion)
+                .run(
+                    &ds,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+        };
+        let unfused = run(FusionConfig::unfused());
+        // 1 KiB splits the 392-param MLP into two layer-aligned buckets,
+        // so the first (later-layer) bucket's allreduce starts before
+        // backward ends. Compare the same bucketing with the overlap
+        // lane off — identical ΣA, so any wall difference is pure
+        // overlap.
+        let serial = run(FusionConfig::fused(1024).overlap(false));
+        let fused = run(FusionConfig::fused(1024));
+
+        assert_eq!(unfused.breakdown.overlap_saved_ps, 0, "unfused saves nothing");
+        assert_eq!(serial.breakdown.overlap_saved_ps, 0, "serialized saves nothing");
+        assert!(fused.breakdown.overlap_saved_ps > 0, "overlap must hide some comm");
+        // The identity the breakdown maintains exactly, overlap or not.
+        for r in [&unfused, &serial, &fused] {
+            assert_eq!(r.breakdown.total_ps(), r.sim_wall_ps);
+        }
+        // Same buckets, same ΣA: overlap strictly shortens the modeled
+        // wall, by exactly the saved picoseconds.
+        assert_eq!(serial.breakdown.allreduce_ps, fused.breakdown.allreduce_ps);
+        assert!(fused.sim_wall_ps < serial.sim_wall_ps);
+        assert_eq!(
+            fused.sim_wall_ps + fused.breakdown.overlap_saved_ps,
+            serial.sim_wall_ps
+        );
     }
 
     #[test]

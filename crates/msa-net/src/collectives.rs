@@ -9,14 +9,35 @@
 //! * [`recursive_doubling_allreduce`] — latency-optimal for small
 //!   messages, log₂(p) rounds (handles non-power-of-two sizes with a
 //!   fold-in pre/post phase);
+//! * [`pipeline_allreduce`] — a rank-ordered reduce chain plus a return
+//!   chain whose element-wise fold order is *independent of how the
+//!   buffer is partitioned*, the property the fused gradient exchange
+//!   needs for bit-equality across bucket sizes (see DESIGN.md §11);
 //! * [`binomial_broadcast`] / [`tree_reduce`] — log₂(p) tree collectives;
 //! * [`ring_allgather`] and the [`dissemination_barrier`].
 //!
 //! All functions must be called collectively by every rank; the
 //! point-to-point `send` is buffered so the send-then-receive schedules
 //! below cannot deadlock.
+//!
+//! ## Zero-allocation slice path
+//!
+//! The reductions run on the slice API ([`PointToPoint::send_from`] /
+//! [`PointToPoint::recv_into`]) with receive staging carved from a
+//! scratch [`Arena`]. Each collective has a `_with` variant taking a
+//! caller-owned arena — after one warm-up call the arena is sized and a
+//! steady-state collective performs **zero heap allocation** on pooled
+//! transports ([`crate::ThreadComm`]). The plain-named variants keep the
+//! seed signatures and open a fresh arena per call (one warm-up growth,
+//! still no per-ring-step churn).
+//!
+//! Accumulation order is load-bearing: every reduce loop is the same
+//! element-wise left fold (`*dst += incoming`) over the same message
+//! schedule as the seed, so results are `to_bits`-equal to the seed
+//! collectives.
 
 use crate::comm::PointToPoint;
+use crate::scratch::Arena;
 use crate::stats::CollectiveOp;
 
 /// Splits `len` elements into `parts` contiguous ranges as evenly as
@@ -44,6 +65,19 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 /// `2 (p−1)/p · n` — independent of `p` for large `n`, which is why
 /// Horovod scales to hundreds of GPUs.
 pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
+    ring_allreduce_with(c, buf, &mut Arena::new());
+}
+
+/// [`ring_allreduce`] with a caller-owned receive-staging arena —
+/// zero-alloc in steady state on pooled transports.
+///
+/// When `parts > len`, `chunk_ranges` produces empty trailing ranges;
+/// both phases skip those chunks entirely instead of shipping zero-length
+/// messages every step. The skip predicate is the chunk's emptiness, and
+/// a rank's receive of chunk `i` pairs with its left neighbour's send of
+/// the *same* chunk index, so the skips agree on both ends of every
+/// channel and the schedule stays deadlock-free.
+pub fn ring_allreduce_with<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], scratch: &mut Arena) {
     let p = c.size();
     if p == 1 || buf.is_empty() {
         return;
@@ -53,18 +87,25 @@ pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
     let right = (rank + 1) % p;
     let left = (rank + p - 1) % p;
     let chunks = chunk_ranges(buf.len(), p);
+    let max_chunk = chunks.iter().map(std::ops::Range::len).max().unwrap_or(0);
+    let mut frame = scratch.frame(max_chunk);
+    let incoming = frame.take(max_chunk);
 
     // Reduce-scatter: in step s we send chunk (rank − s) and accumulate
     // chunk (rank − s − 1) arriving from the left.
     for s in 0..p - 1 {
         let send_idx = (rank + p - s) % p;
         let recv_idx = (rank + p - s - 1) % p;
-        c.send(right, buf[chunks[send_idx].clone()].to_vec());
-        let incoming = c.recv(left);
+        if !chunks[send_idx].is_empty() {
+            c.send_from(right, &buf[chunks[send_idx].clone()]);
+        }
         let dst = &mut buf[chunks[recv_idx].clone()];
-        debug_assert_eq!(incoming.len(), dst.len());
-        for (d, x) in dst.iter_mut().zip(&incoming) {
-            *d += x;
+        if !dst.is_empty() {
+            let inc = &mut incoming[..dst.len()];
+            c.recv_into(left, inc);
+            for (d, x) in dst.iter_mut().zip(inc.iter()) {
+                *d += *x;
+            }
         }
     }
 
@@ -72,9 +113,12 @@ pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
     for s in 0..p - 1 {
         let send_idx = (rank + 1 + p - s) % p;
         let recv_idx = (rank + p - s) % p;
-        c.send(right, buf[chunks[send_idx].clone()].to_vec());
-        let incoming = c.recv(left);
-        buf[chunks[recv_idx].clone()].copy_from_slice(&incoming);
+        if !chunks[send_idx].is_empty() {
+            c.send_from(right, &buf[chunks[send_idx].clone()]);
+        }
+        if !chunks[recv_idx].is_empty() {
+            c.recv_into(left, &mut buf[chunks[recv_idx].clone()]);
+        }
     }
 }
 
@@ -82,6 +126,18 @@ pub fn ring_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
 /// pairwise exchanges. Non-power-of-two sizes are handled by folding the
 /// `p − 2^⌊log₂ p⌋` extra ranks into partners before/after the core phase.
 pub fn recursive_doubling_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
+    recursive_doubling_allreduce_with(c, buf, &mut Arena::new());
+}
+
+/// [`recursive_doubling_allreduce`] with a caller-owned receive-staging
+/// arena. The seed cloned the whole buffer (`buf.to_vec()`) once per
+/// round; the slice path stages the partner's buffer in the arena
+/// instead, so rounds allocate nothing in steady state.
+pub fn recursive_doubling_allreduce_with<C: PointToPoint + ?Sized>(
+    c: &C,
+    buf: &mut [f32],
+    scratch: &mut Arena,
+) {
     let p = c.size();
     if p == 1 || buf.is_empty() {
         return;
@@ -90,42 +146,98 @@ pub fn recursive_doubling_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [
     let rank = c.rank();
     let p2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
     let rem = p - p2;
+    let mut frame = scratch.frame(buf.len());
+    let incoming = frame.take(buf.len());
 
-    // Fold-in: ranks in [p2, p) send to (rank − p2) and sit out.
-    let participating = if rank >= p2 {
-        c.send(rank - p2, buf.to_vec());
-        false
-    } else {
-        if rank < rem {
-            let incoming = c.recv(rank + p2);
-            for (d, x) in buf.iter_mut().zip(&incoming) {
-                *d += x;
-            }
+    // Fold-in: ranks in [p2, p) send to (rank − p2) and sit out, then
+    // receive the finished sum at the end.
+    if rank >= p2 {
+        c.send_from(rank - p2, buf);
+        c.recv_into(rank - p2, buf);
+        return;
+    }
+    if rank < rem {
+        c.recv_into(rank + p2, incoming);
+        for (d, x) in buf.iter_mut().zip(incoming.iter()) {
+            *d += *x;
         }
-        true
-    };
+    }
 
-    if participating {
-        let mut mask = 1;
-        while mask < p2 {
-            let partner = rank ^ mask;
-            c.send(partner, buf.to_vec());
-            let incoming = c.recv(partner);
-            for (d, x) in buf.iter_mut().zip(&incoming) {
-                *d += x;
-            }
-            mask <<= 1;
+    let mut mask = 1;
+    while mask < p2 {
+        let partner = rank ^ mask;
+        c.send_from(partner, buf);
+        c.recv_into(partner, incoming);
+        for (d, x) in buf.iter_mut().zip(incoming.iter()) {
+            *d += *x;
         }
-        if rank < rem {
-            c.send(rank + p2, buf.to_vec());
+        mask <<= 1;
+    }
+    if rank < rem {
+        c.send_from(rank + p2, buf);
+    }
+}
+
+/// Pipeline allreduce (sum) with a **partition-invariant fold order**.
+///
+/// Phase 1 chains the buffers up the rank order — rank r receives the
+/// running sum from rank r−1 and adds its own contribution — so every
+/// element ends up folded in the one canonical order
+/// `g_{p−1} + (… + (g_1 + g_0))` regardless of where the buffer starts or
+/// ends. Phase 2 chains the finished sum back down. Splitting a gradient
+/// into buckets and pipeline-allreducing each therefore produces exactly
+/// the bits of one whole-buffer call — the property the fused gradient
+/// exchange rests on (a chunked ring cannot offer it: its per-element
+/// fold *rotates with the chunk index*, so bucket boundaries would change
+/// the bits).
+///
+/// The schedule is also rendezvous-safe: every send has a matching
+/// receive already posted (or next in program order on an idle rank), so
+/// it completes even under `Bounded(0)` channel capacity, unlike the
+/// eager ring.
+pub fn pipeline_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32]) {
+    pipeline_allreduce_with(c, buf, &mut Arena::new());
+}
+
+/// [`pipeline_allreduce`] with a caller-owned receive-staging arena —
+/// zero-alloc in steady state on pooled transports.
+pub fn pipeline_allreduce_with<C: PointToPoint + ?Sized>(
+    c: &C,
+    buf: &mut [f32],
+    scratch: &mut Arena,
+) {
+    let p = c.size();
+    if p == 1 || buf.is_empty() {
+        return;
+    }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Allreduce));
+    let rank = c.rank();
+
+    // Phase 1 — reduce chain 0 → 1 → … → p−1: the running sum arrives
+    // from the left, the local contribution folds on top.
+    if rank > 0 {
+        let mut frame = scratch.frame(buf.len());
+        let incoming = frame.take(buf.len());
+        c.recv_into(rank - 1, incoming);
+        for (d, x) in buf.iter_mut().zip(incoming.iter()) {
+            *d += *x;
         }
-    } else {
-        let incoming = c.recv(rank - p2);
-        buf.copy_from_slice(&incoming);
+    }
+    if rank < p - 1 {
+        c.send_from(rank + 1, buf);
+        // Phase 2 — the finished sum chains back down p−1 → … → 0.
+        c.recv_into(rank + 1, buf);
+    }
+    if rank > 0 {
+        c.send_from(rank - 1, buf);
     }
 }
 
 /// Binomial-tree broadcast from `root`: ⌈log₂ p⌉ rounds.
+///
+/// This is the `Vec`-path variant for payloads whose length the
+/// receiving ranks do not know; see [`binomial_broadcast_into`] for the
+/// zero-alloc slice variant when every rank knows the length.
 pub fn binomial_broadcast<C: PointToPoint + ?Sized>(c: &C, buf: &mut Vec<f32>, root: usize) {
     let p = c.size();
     if p == 1 {
@@ -154,9 +266,50 @@ pub fn binomial_broadcast<C: PointToPoint + ?Sized>(c: &C, buf: &mut Vec<f32>, r
     }
 }
 
+/// Binomial-tree broadcast from `root` over the slice path: same rounds
+/// as [`binomial_broadcast`], but in place — usable (and zero-alloc on
+/// pooled transports) whenever every rank already knows `buf.len()`.
+pub fn binomial_broadcast_into<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize) {
+    let p = c.size();
+    if p == 1 {
+        return;
+    }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Broadcast));
+    let rank = c.rank();
+    let vrank = (rank + p - root) % p;
+
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            let src = ((vrank - mask) + root) % p;
+            c.recv_into(src, buf);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        let dst_v = vrank + mask;
+        if dst_v < p {
+            c.send_from((dst_v + root) % p, buf);
+        }
+        mask >>= 1;
+    }
+}
+
 /// Binomial-tree sum-reduction to `root`. On return `root`'s `buf` holds
 /// the global sum; other ranks' buffers hold partial sums (unspecified).
 pub fn tree_reduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize) {
+    tree_reduce_with(c, buf, root, &mut Arena::new());
+}
+
+/// [`tree_reduce`] with a caller-owned receive-staging arena.
+pub fn tree_reduce_with<C: PointToPoint + ?Sized>(
+    c: &C,
+    buf: &mut [f32],
+    root: usize,
+    scratch: &mut Arena,
+) {
     let p = c.size();
     if p == 1 {
         return;
@@ -164,20 +317,22 @@ pub fn tree_reduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize
     let _scope = c.stats().map(|s| s.scope(CollectiveOp::Reduce));
     let rank = c.rank();
     let vrank = (rank + p - root) % p;
+    let mut frame = scratch.frame(buf.len());
+    let incoming = frame.take(buf.len());
 
     let mut mask = 1usize;
     while mask < p {
         if vrank & mask == 0 {
             let src_v = vrank | mask;
             if src_v < p {
-                let incoming = c.recv((src_v + root) % p);
-                for (d, x) in buf.iter_mut().zip(&incoming) {
-                    *d += x;
+                c.recv_into((src_v + root) % p, incoming);
+                for (d, x) in buf.iter_mut().zip(incoming.iter()) {
+                    *d += *x;
                 }
             }
         } else {
             let dst_v = vrank & !mask;
-            c.send((dst_v + root) % p, buf.to_vec());
+            c.send_from((dst_v + root) % p, buf);
             break;
         }
         mask <<= 1;
@@ -185,7 +340,10 @@ pub fn tree_reduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], root: usize
 }
 
 /// Ring allgather: returns `result` where `result[r]` is rank `r`'s
-/// `mine` slice, identical on every rank.
+/// `mine` slice, identical on every rank. Blocks may be ragged (each
+/// rank's length may differ), which is why this variant stays on the
+/// `Vec` path; see [`ring_allgather_into`] for the equal-block slice
+/// variant.
 pub fn ring_allgather<C: PointToPoint + ?Sized>(c: &C, mine: &[f32]) -> Vec<Vec<f32>> {
     let p = c.size();
     let rank = c.rank();
@@ -206,8 +364,38 @@ pub fn ring_allgather<C: PointToPoint + ?Sized>(c: &C, mine: &[f32]) -> Vec<Vec<
     blocks
 }
 
+/// Equal-block ring allgather over the slice path: `out.len()` must be
+/// `p × mine.len()` and every rank must pass the same block length. On
+/// return `out[r·len..(r+1)·len]` holds rank `r`'s block on every rank.
+/// The circulating blocks live directly in `out`, so the collective
+/// allocates nothing at all — not even scratch.
+pub fn ring_allgather_into<C: PointToPoint + ?Sized>(c: &C, mine: &[f32], out: &mut [f32]) {
+    let p = c.size();
+    let rank = c.rank();
+    let blk = mine.len();
+    assert_eq!(
+        out.len(),
+        p * blk,
+        "ring_allgather_into: out must hold size() × mine.len() floats"
+    );
+    out[rank * blk..(rank + 1) * blk].copy_from_slice(mine);
+    if p == 1 || blk == 0 {
+        return;
+    }
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Allgather));
+    let right = (rank + 1) % p;
+    let left = (rank + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_idx = (rank + p - s) % p;
+        let recv_idx = (rank + p - s - 1) % p;
+        c.send_from(right, &out[send_idx * blk..(send_idx + 1) * blk]);
+        c.recv_into(left, &mut out[recv_idx * blk..(recv_idx + 1) * blk]);
+    }
+}
+
 /// Dissemination barrier: ⌈log₂ p⌉ rounds; in round k each rank signals
-/// `(rank + 2^k) mod p` and waits for `(rank − 2^k) mod p`.
+/// `(rank + 2^k) mod p` and waits for `(rank − 2^k) mod p`. The signals
+/// are empty slice-path messages, so a barrier allocates nothing.
 pub fn dissemination_barrier<C: PointToPoint + ?Sized>(c: &C) {
     let p = c.size();
     if p == 1 {
@@ -217,8 +405,8 @@ pub fn dissemination_barrier<C: PointToPoint + ?Sized>(c: &C) {
     let rank = c.rank();
     let mut dist = 1;
     while dist < p {
-        c.send((rank + dist) % p, Vec::new());
-        let _ = c.recv((rank + p - dist) % p);
+        c.send_from((rank + dist) % p, &[]);
+        c.recv_into((rank + p - dist) % p, &mut []);
         dist <<= 1;
     }
 }

@@ -11,6 +11,23 @@ use crate::stats::CommStats;
 
 /// Minimal reliable, ordered, tagged point-to-point transport between
 /// `size()` ranks.
+///
+/// Two message paths share each channel:
+///
+/// * the **`Vec` path** (`send`/`recv`) transfers buffer ownership and is
+///   the required primitive every transport implements — it stays the
+///   control-plane path for ragged payloads whose length the receiver
+///   does not know (allgather blocks, broadcast from an uninformed rank);
+/// * the **slice path** (`send_from`/`recv_into`) copies through
+///   transport-owned recycled buffers and is the hot path: steady-state
+///   collectives over it perform zero heap allocation on transports with
+///   buffer pools ([`crate::ThreadComm`]).
+///
+/// The two paths must be matched *per message*: a `send_from` on one rank
+/// pairs with a `recv_into` on the peer, a `send` with a `recv`. Pooled
+/// transports recycle slice-path buffers through credit channels, so a
+/// mixed pairing leaks or double-returns a credit. Every collective in
+/// [`crate::collectives`] is internally consistent about this.
 pub trait PointToPoint {
     /// This endpoint's rank in `0..size()`.
     fn rank(&self) -> usize;
@@ -24,6 +41,28 @@ pub trait PointToPoint {
     /// Receives the next message from rank `from` (blocking, FIFO per
     /// sender).
     fn recv(&self, from: usize) -> Vec<f32>;
+
+    /// Sends the contents of `data` to rank `to` without surrendering a
+    /// buffer. The default forwards to the `Vec` path (one allocation per
+    /// message); pooled transports override it to reuse per-peer recycled
+    /// buffers instead.
+    fn send_from(&self, to: usize, data: &[f32]) {
+        self.send(to, data.to_vec());
+    }
+
+    /// Receives the next message from rank `from` into `dst` (blocking,
+    /// FIFO per sender). Panics if the incoming message length differs
+    /// from `dst.len()` — a collective-schedule bug, not a recoverable
+    /// condition. The default forwards to the `Vec` path.
+    fn recv_into(&self, from: usize, dst: &mut [f32]) {
+        let data = self.recv(from);
+        assert_eq!(
+            data.len(),
+            dst.len(),
+            "recv_into: message length mismatch from rank {from}"
+        );
+        dst.copy_from_slice(&data);
+    }
 
     /// The endpoint's traffic counters, when it keeps any. Transports
     /// that do ([`crate::ThreadComm`]) call
@@ -61,6 +100,12 @@ pub trait Communicator: PointToPoint {
         collectives::binomial_broadcast(self, buf, root);
     }
 
+    /// Broadcast in place from `root` when every rank already knows the
+    /// length (binomial tree over the zero-alloc slice path).
+    fn broadcast_into(&self, buf: &mut [f32], root: usize) {
+        collectives::binomial_broadcast_into(self, buf, root);
+    }
+
     /// Reduce (sum) to `root`; other ranks' `buf` is left unspecified.
     fn reduce_sum(&self, buf: &mut [f32], root: usize) {
         collectives::tree_reduce(self, buf, root);
@@ -69,6 +114,14 @@ pub trait Communicator: PointToPoint {
     /// Gathers each rank's `mine` into rank order on every rank.
     fn allgather(&self, mine: &[f32]) -> Vec<Vec<f32>> {
         collectives::ring_allgather(self, mine)
+    }
+
+    /// Equal-block allgather into a caller-provided flat buffer:
+    /// `out.len()` must be `size() × mine.len()`, and on return
+    /// `out[r·len..(r+1)·len]` holds rank `r`'s block. Zero-alloc on
+    /// pooled transports; every rank must pass the same block length.
+    fn allgather_into(&self, mine: &[f32], out: &mut [f32]) {
+        collectives::ring_allgather_into(self, mine, out);
     }
 
     /// Synchronisation barrier (dissemination algorithm).

@@ -58,6 +58,14 @@ impl<C: PointToPoint + ?Sized> PointToPoint for GroupComm<'_, C> {
         self.parent.recv(self.members[from])
     }
 
+    fn send_from(&self, to: usize, data: &[f32]) {
+        self.parent.send_from(self.members[to], data);
+    }
+
+    fn recv_into(&self, from: usize, dst: &mut [f32]) {
+        self.parent.recv_into(self.members[from], dst);
+    }
+
     fn stats(&self) -> Option<&crate::stats::CommStats> {
         // Group traffic flows through (and is counted by) the parent
         // endpoint; forwarding keeps collective attribution working for
@@ -101,10 +109,9 @@ pub fn hierarchical_allreduce<C: PointToPoint + ?Sized>(
         collectives::ring_allreduce(&inter, buf);
     }
 
-    // Phase 3: broadcast back within the node.
-    let mut v = buf.to_vec();
-    collectives::binomial_broadcast(&local, &mut v, 0);
-    buf.copy_from_slice(&v);
+    // Phase 3: broadcast back within the node. Every member knows the
+    // length, so the in-place slice path applies — no `to_vec` round trip.
+    collectives::binomial_broadcast_into(&local, buf, 0);
 }
 
 /// α–β cost of the hierarchical allreduce with distinct intra-node

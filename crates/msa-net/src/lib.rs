@@ -19,10 +19,12 @@ pub mod comm;
 pub mod cost;
 pub mod fabric;
 pub mod hierarchical;
+pub mod scratch;
 pub mod stats;
 pub mod thread_comm;
 
 pub use barrier::SenseBarrier;
+pub use scratch::Arena;
 pub use comm::{Communicator, PointToPoint};
 pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};
 pub use cost::{CollectiveAlgo, LinkParams};

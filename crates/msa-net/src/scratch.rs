@@ -1,0 +1,133 @@
+//! Caller-owned scratch arenas for collective workspaces.
+//!
+//! The slice-based collectives in [`crate::collectives`] need per-call
+//! receive staging (the incoming chunk of a ring step, the partner
+//! buffer of a recursive-doubling round). The seed allocated fresh
+//! `Vec`s for these on every ring step; an [`Arena`] instead owns one
+//! growable `f32` buffer that calls carve into disjoint slices via
+//! [`Arena::frame`] — the same pattern `tensor::scratch` uses for the
+//! conv/matmul workspaces. After warm-up the buffer is large enough and
+//! a collective performs zero heap allocation, a property callers can
+//! *assert* through [`Arena::grows`].
+//!
+//! Ownership rules (documented contract, enforced by borrows):
+//! * An arena belongs to exactly one logical execution stream — one
+//!   rank's collective call chain. Concurrent ranks each own an arena.
+//! * A [`Frame`] mutably borrows the arena: one live frame at a time;
+//!   slices taken from it live only as long as the frame.
+//! * [`Frame::take`] returns zero-filled slices so staleness from a
+//!   previous call can never leak into a reduction.
+
+/// A reusable `f32` workspace buffer with an allocation-growth counter.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buf: Vec<f32>,
+    grows: u64,
+}
+
+impl Arena {
+    /// An empty arena; the first frame counts as one growth.
+    pub fn new() -> Arena {
+        Arena::default()
+    }
+
+    /// Pre-sized arena: frames within `capacity` never grow.
+    pub fn with_capacity(capacity: usize) -> Arena {
+        Arena {
+            buf: vec![0.0; capacity],
+            grows: 0,
+        }
+    }
+
+    /// Number of times a frame required the buffer to grow. A steady
+    /// state of repeated identical collectives must keep this constant —
+    /// the "no per-step allocation" assertion used by tests and benches.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Current capacity in `f32` elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Opens a frame holding `len` scratch floats, growing the buffer if
+    /// needed (counted in [`Arena::grows`]).
+    pub fn frame(&mut self, len: usize) -> Frame<'_> {
+        if self.buf.len() < len {
+            self.grows += 1;
+            self.buf.resize(len, 0.0);
+        }
+        Frame {
+            rest: &mut self.buf[..len],
+        }
+    }
+}
+
+/// One call's workspace: hands out disjoint zero-filled slices carved
+/// off the front of the arena buffer.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    rest: &'a mut [f32],
+}
+
+impl<'a> Frame<'a> {
+    /// Takes the next `len` floats, zero-filled. Panics if the frame was
+    /// opened too small — sizing is the caller's contract, and a panic
+    /// here means a workspace-size bug, not a recoverable condition.
+    pub fn take(&mut self, len: usize) -> &'a mut [f32] {
+        assert!(
+            len <= self.rest.len(),
+            "scratch frame exhausted: requested {len}, remaining {}",
+            self.rest.len()
+        );
+        let (head, tail) = std::mem::take(&mut self.rest).split_at_mut(len);
+        self.rest = tail;
+        head.fill(0.0);
+        head
+    }
+
+    /// Remaining floats in this frame.
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reuse_without_growth() {
+        let mut a = Arena::new();
+        for _ in 0..10 {
+            let mut f = a.frame(100);
+            let x = f.take(40);
+            let y = f.take(60);
+            x[0] = 1.0;
+            y[59] = 2.0;
+        }
+        assert_eq!(a.grows(), 1, "only the warm-up frame may grow");
+        assert!(a.capacity() >= 100);
+    }
+
+    #[test]
+    fn growth_is_counted_per_enlargement() {
+        let mut a = Arena::with_capacity(16);
+        let _ = a.frame(16);
+        assert_eq!(a.grows(), 0);
+        let _ = a.frame(17);
+        assert_eq!(a.grows(), 1);
+        let _ = a.frame(17);
+        assert_eq!(a.grows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch frame exhausted")]
+    fn overdrawn_frame_panics() {
+        let mut a = Arena::new();
+        let mut f = a.frame(4);
+        let _ = f.take(3);
+        let _ = f.take(2);
+    }
+}

@@ -122,11 +122,32 @@ pub struct ThreadComm {
     senders: Vec<Sender<Vec<f32>>>,
     /// `receivers[from]` drains the (from → self) channel.
     receivers: Vec<Receiver<Vec<f32>>>,
+    /// `pool_credits[to]` holds recycled buffers this endpoint may use
+    /// for its next slice-path send to `to` (seeded with
+    /// [`CREDITS_PER_CHANNEL`] empty buffers at construction; refilled by
+    /// the peer's `recv_into`).
+    pool_credits: Vec<Receiver<Vec<f32>>>,
+    /// `pool_return[from]` hands a consumed buffer back to the rank that
+    /// sent it, as a fresh send credit.
+    pool_return: Vec<Sender<Vec<f32>>>,
+    /// Times a slice-path send had to grow a pooled buffer (capacity
+    /// smaller than the payload). Grows only while message sizes still
+    /// grow — zero in steady state, and deterministic: credits cycle
+    /// through each channel in FIFO order, so the count depends only on
+    /// the per-channel message-length sequence, never on thread timing.
+    pool_allocs: std::sync::atomic::AtomicU64,
     /// Armed fault, shared (by value) across all endpoints.
     fault: Option<FaultPlan>,
     /// Per-endpoint traffic counters (always on; relaxed atomics).
     stats: CommStats,
 }
+
+/// Send credits pre-seeded per directed channel. Blocking on a credit in
+/// `send_from` bounds the slice path to at most this many un-consumed
+/// messages in flight per channel — `Bounded(2)` semantics, strictly
+/// more permissive than the `Bounded(1)` capacity msa-verify proves
+/// sufficient for every collective schedule in this workspace.
+const CREDITS_PER_CHANNEL: usize = 2;
 
 impl ThreadComm {
     /// Builds `n` fully-connected endpoints with default
@@ -157,25 +178,53 @@ impl ThreadComm {
         // One row of channels per *sender* i, transposing the receiver
         // ends as we go so that rank j ends up owning
         // `receivers[from] = row[from][j]` — no placeholder `Option`s.
+        // The same mesh is built twice: once for payloads, once for the
+        // buffer-pool return path (row i of the pool mesh carries spent
+        // buffers from consumer i back to their senders as credits).
         let mut tx_rows: Vec<Vec<Sender<Vec<f32>>>> = Vec::with_capacity(n);
         let mut rx_cols: Vec<Vec<Receiver<Vec<f32>>>> =
             (0..n).map(|_| Vec::with_capacity(n)).collect();
-        for _ in 0..n {
+        let mut pool_tx_rows: Vec<Vec<Sender<Vec<f32>>>> = Vec::with_capacity(n);
+        let mut pool_rx_cols: Vec<Vec<Receiver<Vec<f32>>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        for i in 0..n {
             let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
             tx_rows.push(senders);
             for (j, r) in receivers.into_iter().enumerate() {
                 rx_cols[j].push(r);
             }
+            let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+            // Seed the credits: pool channel (i ⇒ j) feeds rank j's
+            // sends *to* i, so each cross pair starts with
+            // CREDITS_PER_CHANNEL empty (capacity-0, allocation-free)
+            // buffers ready to be grown on first use.
+            for (j, s) in senders.iter().enumerate() {
+                if j != i {
+                    for _ in 0..CREDITS_PER_CHANNEL {
+                        // Unbounded channel with both ends in hand: the
+                        // send cannot fail.
+                        let _ = s.send(Vec::new());
+                    }
+                }
+            }
+            pool_tx_rows.push(senders);
+            for (j, r) in receivers.into_iter().enumerate() {
+                pool_rx_cols[j].push(r);
+            }
         }
         tx_rows
             .into_iter()
             .zip(rx_cols)
+            .zip(pool_tx_rows.into_iter().zip(pool_rx_cols))
             .enumerate()
-            .map(|(rank, (senders, receivers))| ThreadComm {
+            .map(|(rank, ((senders, receivers), (pool_return, pool_credits)))| ThreadComm {
                 rank,
                 size: n,
                 senders,
                 receivers,
+                pool_credits,
+                pool_return,
+                pool_allocs: std::sync::atomic::AtomicU64::new(0),
                 fault,
                 stats: CommStats::new(link),
             })
@@ -239,6 +288,15 @@ impl ThreadComm {
             _ => Ok(()),
         }
     }
+
+    /// Number of pooled-buffer growths this endpoint's slice-path sends
+    /// have performed — the zero-steady-state-allocation counter. Warm-up
+    /// grows each channel's credits up to the largest payload seen; after
+    /// that, repeating the same collectives keeps this constant. The
+    /// value is deterministic across runs (see the field doc).
+    pub fn pool_allocs(&self) -> u64 {
+        self.pool_allocs.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 impl PointToPoint for ThreadComm {
@@ -269,6 +327,49 @@ impl PointToPoint for ThreadComm {
             .expect("peer endpoint dropped while communicator in use");
         self.stats.on_recv(data.len() * std::mem::size_of::<f32>());
         data
+    }
+
+    fn send_from(&self, to: usize, data: &[f32]) {
+        assert!(to < self.size && to != self.rank, "invalid peer {to}");
+        // Blocking on a credit is the flow control: at most
+        // CREDITS_PER_CHANNEL un-consumed slice-path messages per
+        // channel, i.e. Bounded(2) semantics (see the constant's doc).
+        let mut buf = self
+            .pool_credits[to]
+            .recv()
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
+            .expect("peer endpoint dropped while communicator in use");
+        if buf.capacity() < data.len() {
+            self.pool_allocs
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        buf.clear();
+        buf.extend_from_slice(data);
+        self.stats.on_send(std::mem::size_of_val(data));
+        self.senders[to]
+            .send(buf)
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
+            .expect("peer endpoint dropped while communicator in use");
+    }
+
+    fn recv_into(&self, from: usize, dst: &mut [f32]) {
+        assert!(from < self.size && from != self.rank, "invalid peer {from}");
+        let data = self
+            .receivers[from]
+            .recv()
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
+            .expect("peer endpoint dropped while communicator in use");
+        assert_eq!(
+            data.len(),
+            dst.len(),
+            "recv_into: message length mismatch from rank {from}"
+        );
+        dst.copy_from_slice(&data);
+        self.stats.on_recv(data.len() * std::mem::size_of::<f32>());
+        // Recycle: the spent buffer goes back to its sender as a fresh
+        // credit. Ignore a dropped peer here — by then the data channel
+        // has already surfaced the failure.
+        let _ = self.pool_return[from].send(data);
     }
 
     fn stats(&self) -> Option<&CommStats> {
@@ -513,6 +614,172 @@ mod tests {
         for snap in out {
             let snap = snap.expect("stats always present");
             assert_eq!(snap.op(CollectiveOp::Allreduce).wait_ps, want);
+        }
+    }
+
+    #[test]
+    fn slice_path_does_zero_steady_state_allocation() {
+        use crate::scratch::Arena;
+
+        let out = ThreadComm::run(4, |c| {
+            let mut scratch = Arena::new();
+            let mut buf: Vec<f32> = (0..257).map(|i| (c.rank() + i) as f32).collect();
+            // Warm-up: grows the per-channel credits and the arena. Two
+            // rounds, because each channel cycles CREDITS_PER_CHANNEL = 2
+            // buffers FIFO — one round only grows the first credit.
+            for _ in 0..2 {
+                collectives::ring_allreduce_with(c, &mut buf, &mut scratch);
+                collectives::pipeline_allreduce_with(c, &mut buf, &mut scratch);
+                collectives::recursive_doubling_allreduce_with(c, &mut buf, &mut scratch);
+                c.barrier();
+            }
+            let warm = c.pool_allocs();
+            let grows = scratch.grows();
+            for _ in 0..10 {
+                collectives::ring_allreduce_with(c, &mut buf, &mut scratch);
+                collectives::pipeline_allreduce_with(c, &mut buf, &mut scratch);
+                collectives::recursive_doubling_allreduce_with(c, &mut buf, &mut scratch);
+                c.barrier();
+            }
+            (c.pool_allocs() - warm, scratch.grows() - grows)
+        });
+        for (rank, (pool_delta, arena_delta)) in out.into_iter().enumerate() {
+            assert_eq!(pool_delta, 0, "rank {rank}: steady-state pool allocation");
+            assert_eq!(arena_delta, 0, "rank {rank}: steady-state arena growth");
+        }
+    }
+
+    /// Regression for the `parts > len` bugfix: empty trailing chunks
+    /// must not ship zero-length messages, and skipping them must not
+    /// change a single result bit. The reference below replays the ring's
+    /// exact fold order for chunk `e`: contributions fold in ascending
+    /// ring order starting at rank `e`, each new term added on the left.
+    #[test]
+    fn empty_chunk_skip_shrinks_traffic_and_keeps_bits() {
+        use crate::stats::CollectiveOp;
+
+        let p = 8usize;
+        let v = |r: usize, i: usize| 0.1f32 + r as f32 * 0.3 + i as f32 * 0.7;
+        let out = ThreadComm::run(p, |c| {
+            let mut buf: Vec<f32> = (0..3).map(|i| v(c.rank(), i)).collect();
+            c.allreduce_sum(&mut buf);
+            let ar = c.stats().expect("stats always on").export().op(CollectiveOp::Allreduce);
+            (buf, ar.msgs_sent, ar.bytes_sent)
+        });
+        for (rank, (buf, msgs, bytes)) in out.into_iter().enumerate() {
+            // Dense schedule would be 2(p−1) = 14 messages; only the 3
+            // nonempty chunks circulate now.
+            assert!(msgs < 14, "rank {rank} sent {msgs} messages");
+            assert!(msgs >= 4, "rank {rank} sent {msgs} messages");
+            // Every surviving message carries exactly one f32.
+            assert_eq!(bytes, msgs * 4, "rank {rank} wire bytes");
+            for (e, got) in buf.iter().enumerate() {
+                let mut acc = v(e % p, e);
+                for k in 1..p {
+                    // Spelled `new + acc` (not `+=`): the ring folds each
+                    // arriving contribution in on the *left*.
+                    #[allow(clippy::assign_op_pattern)]
+                    {
+                        acc = v((e + k) % p, e) + acc;
+                    }
+                }
+                assert_eq!(
+                    got.to_bits(),
+                    acc.to_bits(),
+                    "rank {rank} elem {e}: ring fold order changed"
+                );
+            }
+        }
+    }
+
+    /// The property the fused gradient exchange rests on: splitting a
+    /// buffer into arbitrary buckets and pipeline-allreducing each gives
+    /// exactly the bits of one whole-buffer call — and both equal the
+    /// canonical rank-ordered left fold.
+    #[test]
+    fn pipeline_allreduce_is_partition_invariant() {
+        let len = 29usize;
+        let v = |r: usize, i: usize| (0.37f32 + r as f32 * 1.13) * (i as f32 - 11.5);
+        for p in [2usize, 3, 5, 8] {
+            let whole = ThreadComm::run(p, |c| {
+                let mut buf: Vec<f32> = (0..len).map(|i| v(c.rank(), i)).collect();
+                collectives::pipeline_allreduce(c, &mut buf);
+                buf
+            });
+            for split in [&[29usize][..], &[1, 28], &[7, 9, 13], &[4, 5, 6, 7, 7], &[1; 29]] {
+                assert_eq!(split.iter().sum::<usize>(), len);
+                let bucketed = ThreadComm::run(p, |c| {
+                    let mut scratch = crate::scratch::Arena::new();
+                    let mut buf: Vec<f32> = (0..len).map(|i| v(c.rank(), i)).collect();
+                    let mut off = 0;
+                    for &sz in split {
+                        collectives::pipeline_allreduce_with(
+                            c,
+                            &mut buf[off..off + sz],
+                            &mut scratch,
+                        );
+                        off += sz;
+                    }
+                    buf
+                });
+                for (rank, (w, b)) in whole.iter().zip(&bucketed).enumerate() {
+                    for i in 0..len {
+                        assert_eq!(
+                            w[i].to_bits(),
+                            b[i].to_bits(),
+                            "p={p} split={split:?} rank={rank} elem={i}"
+                        );
+                    }
+                }
+            }
+            // Canonical fold: g_{p−1} + (… + (g_1 + g_0)).
+            for buf in &whole {
+                for (i, got) in buf.iter().enumerate() {
+                    let mut acc = v(0, i);
+                    for r in 1..p {
+                        acc += v(r, i);
+                    }
+                    assert_eq!(got.to_bits(), acc.to_bits(), "p={p} elem={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_into_matches_allgather() {
+        for p in [1usize, 2, 5, 8] {
+            let out = ThreadComm::run(p, |c| {
+                let mine: Vec<f32> = (0..4).map(|i| (c.rank() * 10 + i) as f32).collect();
+                let mut flat = vec![0.0f32; p * 4];
+                c.allgather_into(&mine, &mut flat);
+                (flat, c.allgather(&mine))
+            });
+            for (flat, blocks) in out {
+                let want: Vec<f32> = blocks.concat();
+                assert_eq!(flat, want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_into_matches_broadcast() {
+        for p in [1usize, 2, 5, 8] {
+            for root in [0, p - 1] {
+                let out = ThreadComm::run(p, |c| {
+                    let mut buf = vec![0.0f32; 6];
+                    if c.rank() == root {
+                        for (i, x) in buf.iter_mut().enumerate() {
+                            *x = 42.0 + i as f32;
+                        }
+                    }
+                    c.broadcast_into(&mut buf, root);
+                    buf
+                });
+                let want: Vec<f32> = (0..6).map(|i| 42.0 + i as f32).collect();
+                for (r, buf) in out.iter().enumerate() {
+                    assert_eq!(buf, &want, "p={p} root={root} rank={r}");
+                }
+            }
         }
     }
 

@@ -425,6 +425,13 @@ impl PointToPoint for TraceComm {
                 return vec![0.0; len];
             }
             st.wait[self.rank] = Wait::RecvFrom(from);
+            // Registering as a receiver can *unblock a sender*: under
+            // rendezvous capacity a SendTo(us) becomes runnable the
+            // moment our RecvFrom lands in the wait table. That sender
+            // may already be parked on the condvar, so wake the net
+            // before sleeping or the handoff is a lost wakeup and both
+            // sides sleep forever.
+            self.net.ready.notify_all();
             self.net.detect_deadlock(&mut st);
             if st.deadlock.is_some() {
                 drop(st);
@@ -625,6 +632,26 @@ mod tests {
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rendezvous_handoff_completes_when_the_sender_blocks_first() {
+        // Regression: a sender that parks on a zero-capacity channel
+        // *before* the receiver posts its recv must be woken by that
+        // recv's registration. (The recv's wait-table entry is what
+        // makes the sender runnable under rendezvous; without a notify
+        // there, the handoff was a lost wakeup and both sides hung.)
+        let report = check_schedule(2, Capacity::Bounded(0), |tc| {
+            if tc.rank() == 0 {
+                tc.send(1, vec![1.0, 2.0, 3.0]);
+            } else {
+                // Arrive demonstrably after the sender has parked.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                assert_eq!(tc.recv(0).len(), 3);
+            }
+        })
+        .expect("rendezvous handoff must complete");
+        assert_eq!(report.messages, 1);
     }
 
     #[test]

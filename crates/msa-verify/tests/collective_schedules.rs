@@ -6,8 +6,8 @@
 //! offending wait cycle in the report.
 
 use msa_net::collectives::{
-    binomial_broadcast, dissemination_barrier, recursive_doubling_allreduce, ring_allgather,
-    ring_allreduce, tree_reduce,
+    binomial_broadcast, chunk_ranges, dissemination_barrier, pipeline_allreduce,
+    recursive_doubling_allreduce, ring_allgather, ring_allreduce, tree_reduce,
 };
 use msa_net::hierarchical::hierarchical_allreduce;
 use msa_net::PointToPoint;
@@ -41,6 +41,10 @@ const COLLECTIVES: &[(&str, Schedule)] = &[
     ("tree_reduce", |c| {
         let mut buf = vec![c.rank() as f32; LEN];
         tree_reduce(c, &mut buf, 0);
+    }),
+    ("pipeline_allreduce", |c| {
+        let mut buf = vec![c.rank() as f32; LEN];
+        pipeline_allreduce(c, &mut buf);
     }),
     ("ring_allgather", |c| {
         let blocks = ring_allgather(c, &[c.rank() as f32; 3]);
@@ -129,6 +133,56 @@ fn hierarchical_allreduce_verifies_for_every_node_grouping() {
             .unwrap_or_else(|e| panic!("hierarchical p={p} rpn={rpn}: {e}"));
             assert_eq!(report.ranks, p);
         }
+    }
+}
+
+/// The fused gradient exchange (PR 5): the trainer partitions the flat
+/// gradient into layer-aligned buckets and pipeline-allreduces each in
+/// flush (back-to-front) order. Model-check that bucketed schedule for
+/// every bucket count against the paper's worker counts, under the
+/// single-slot buffering the runtime is proven to provide — no deadlock,
+/// matched message sizes, identical phase sequences on all ranks.
+#[test]
+fn bucketed_pipeline_schedule_verifies_for_all_bucket_counts() {
+    const FUSED_RANKS: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9, 12, 16];
+    // 29 scalars split into 1..=6 buckets covers ragged, singleton and
+    // near-empty partitions (6 buckets of ~5 scalars).
+    const FLAT: usize = 29;
+    for &p in FUSED_RANKS {
+        for buckets in 1..=6usize {
+            let report = check_schedule(p, Capacity::Bounded(1), |c| {
+                c.mark("fused-exchange");
+                let mut flat = [c.rank() as f32; FLAT];
+                // Flush order: the highest bucket finishes backward first.
+                for r in chunk_ranges(FLAT, buckets).into_iter().rev() {
+                    pipeline_allreduce(c, &mut flat[r]);
+                }
+            })
+            .unwrap_or_else(|e| panic!("bucketed pipeline p={p} buckets={buckets}: {e}"));
+            assert_eq!(report.ranks, p);
+            assert_eq!(report.marks, vec!["fused-exchange".to_string()]);
+            assert!(
+                report.peak_queue_depth <= 1,
+                "p={p} buckets={buckets}: peak depth {}",
+                report.peak_queue_depth
+            );
+        }
+    }
+}
+
+/// `pipeline_allreduce`'s doc claims rendezvous safety: every send has a
+/// matching receive posted (or next in program order), so the chain
+/// completes even on zero-capacity channels — unlike the eager ring
+/// (see `ring_allreduce_deadlocks_under_rendezvous_semantics`).
+#[test]
+fn pipeline_allreduce_survives_rendezvous_semantics() {
+    for &p in &[2usize, 3, 5, 8] {
+        let report = check_schedule(p, Capacity::Bounded(0), |c| {
+            let mut buf = vec![c.rank() as f32; LEN];
+            pipeline_allreduce(c, &mut buf);
+        })
+        .unwrap_or_else(|e| panic!("pipeline under rendezvous p={p}: {e}"));
+        assert_eq!(report.ranks, p);
     }
 }
 

@@ -116,6 +116,47 @@ fn alloc_in_kernel_loop_is_flagged() {
 }
 
 #[test]
+fn to_vec_in_collective_loop_is_flagged() {
+    // The msa-net collectives profile bans per-round buffer clones — the
+    // exact churn PR 5 removed from `recursive_doubling_allreduce`.
+    let stdout = findings_for(
+        "allocring",
+        concat!(
+            "pub fn exchange(buf: &mut [f32], rounds: usize) {\n",
+            "    for _ in 0..rounds {\n",
+            "        let staged = buf.to_vec();\n",
+            "        buf.copy_from_slice(&staged);\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:3: alloc-in-kernel"), "{stdout}");
+}
+
+#[test]
+fn justified_warmup_alloc_in_loop_is_clean() {
+    // Warm-up growth paths (arena/pool sizing) may allocate inside a loop
+    // when the justification says why it is not steady-state.
+    let dir = fixture_dir("allocwarm");
+    let file = dir.join("fixture.rs");
+    std::fs::write(
+        &file,
+        concat!(
+            "pub fn warm_up(pool: &mut Vec<Vec<f32>>, n: usize, len: usize) {\n",
+            "    for _ in 0..n {\n",
+            "        // lint: allow(alloc-in-kernel) -- one-time pool warm-up, not the steady-state path\n",
+            "        pool.push(vec![0.0f32; len]);\n",
+            "    }\n",
+            "}\n",
+        ),
+    )
+    .expect("write fixture");
+    let out = run_on(&[&file]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "unexpected findings:\n{stdout}");
+}
+
+#[test]
 fn unjustified_allow_does_not_suppress() {
     let stdout = findings_for(
         "badallow",

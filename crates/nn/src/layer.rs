@@ -115,6 +115,39 @@ impl Sequential {
     pub fn predict(&mut self, input: &Tensor) -> Tensor {
         self.forward(input, false)
     }
+
+    /// Per-top-level-layer spans into the flat parameter order of
+    /// [`Sequential::grads_vec`]: entry `i` is the `[start, end)` range
+    /// of layer `i`'s scalars (empty span for stateless layers). Gradient
+    /// fusion buckets align to these boundaries.
+    pub fn layer_param_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            let n: usize = layer.params().iter().map(|p| p.numel()).sum();
+            spans.push((off, off + n));
+            off += n;
+        }
+        spans
+    }
+
+    /// Backward pass with a per-layer completion hook: `after_layer(i)`
+    /// fires right after top-level layer `i` finishes its backward (and
+    /// its parameter gradients are final). Layers run back-to-front, so
+    /// the hook sees indices `len()-1, …, 0` — exactly the order the
+    /// fused gradient exchange flushes its buckets in.
+    pub fn backward_with(
+        &mut self,
+        grad_out: &Tensor,
+        mut after_layer: impl FnMut(usize, &dyn Layer),
+    ) -> Tensor {
+        let mut g = grad_out.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            g = layer.backward(&g);
+            after_layer(i, &**layer);
+        }
+        g
+    }
 }
 
 impl Default for Sequential {
@@ -305,6 +338,45 @@ mod tests {
         assert_eq!(model.grads_vec(), new);
         model.zero_grad();
         assert!(model.grads_vec().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn layer_param_spans_tile_the_flat_gradient() {
+        let mut rng = Rng::seed(7);
+        let model = Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng));
+        let spans = model.layer_param_spans();
+        assert_eq!(spans, vec![(0, 40), (40, 40), (40, 58)]);
+        assert_eq!(spans.last().unwrap().1, model.param_count());
+    }
+
+    #[test]
+    fn backward_with_matches_backward_and_fires_back_to_front() {
+        let mut rng = Rng::seed(8);
+        let make = |rng: &mut Rng| {
+            Sequential::new()
+                .push(Dense::new(4, 8, rng))
+                .push(Relu::new())
+                .push(Dense::new(8, 2, rng))
+        };
+        let mut a = make(&mut rng);
+        let mut rng2 = Rng::seed(8);
+        let mut b = make(&mut rng2);
+        let x = rng.normal_tensor(&[5, 4], 1.0);
+        let g = Tensor::ones(&[5, 2]);
+        a.forward(&x, true);
+        b.forward(&x, true);
+
+        let ga = a.backward(&g);
+        let mut order = Vec::new();
+        let gb = b.backward_with(&g, |i, layer| {
+            order.push((i, layer.name()));
+        });
+        assert_eq!(ga, gb);
+        assert_eq!(a.grads_vec(), b.grads_vec());
+        assert_eq!(order, vec![(2, "Dense"), (1, "ReLU"), (0, "Dense")]);
     }
 
     #[test]

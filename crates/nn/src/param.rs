@@ -50,6 +50,19 @@ pub fn grads_to_vec(params: &[&Param]) -> Vec<f32> {
     out
 }
 
+/// Flattens the parameter *gradients* into a caller-provided slice —
+/// the zero-allocation variant of [`grads_to_vec`] used by the fused
+/// gradient exchange. `out.len()` must equal the total parameter count.
+pub fn copy_grads_into(params: &[&Param], out: &mut [f32]) {
+    let mut off = 0;
+    for p in params {
+        let n = p.numel();
+        out[off..off + n].copy_from_slice(p.grad.data());
+        off += n;
+    }
+    assert_eq!(off, out.len(), "flat slice length mismatch");
+}
+
 /// Writes a flat vector back into the parameter values. Length must match
 /// exactly.
 pub fn set_values_from_vec(params: &mut [&mut Param], flat: &[f32]) {
@@ -90,6 +103,9 @@ mod tests {
         assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
         let grads = grads_to_vec(&[&a, &b]);
         assert_eq!(grads, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        let mut flat_grads = vec![0.0f32; 5];
+        copy_grads_into(&[&a, &b], &mut flat_grads);
+        assert_eq!(flat_grads, grads);
 
         let flat: Vec<f32> = (10..15).map(|x| x as f32).collect();
         set_values_from_vec(&mut [&mut a, &mut b], &flat);

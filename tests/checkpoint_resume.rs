@@ -4,7 +4,9 @@
 //! was never killed.
 
 use msa_suite::data::Dataset;
-use msa_suite::distrib::{CheckpointError, CheckpointPolicy, TrainConfig, TrainOutcome, Trainer};
+use msa_suite::distrib::{
+    CheckpointError, CheckpointPolicy, FusionConfig, TrainConfig, TrainOutcome, Trainer,
+};
 use msa_suite::msa_net::FaultPlan;
 use msa_suite::nn::{Dense, Optimizer, Relu, Sequential, Sgd, SoftmaxCrossEntropy};
 use msa_suite::tensor::{Rng, Tensor};
@@ -160,6 +162,60 @@ fn resumed_run_survives_a_second_kill() {
     };
     assert_eq!(resumed.final_params, reference.final_params);
     assert_eq!(resumed.steps_per_rank, reference.steps_per_rank);
+}
+
+/// PR5: the fused, overlapped gradient exchange must not change the
+/// fault contract. A rank killed between bucket allreduces aborts every
+/// rank at the same lock-step boundary, the surviving snapshot is the
+/// one the policy took before the kill, and resuming from it (still
+/// fused + overlapped) is bit-identical to the serialized reference run
+/// that was never killed.
+#[test]
+fn fused_overlapped_run_killed_mid_flight_resumes_bit_exact() {
+    let ds = toy_dataset(256, 31);
+    let cfg = config();
+    // 1 KiB buckets split the 24·8+24 + 24·4+4 = 412-param model into
+    // several buckets, so the kill lands between bucket exchanges.
+    let fusion = FusionConfig::fused(1024);
+
+    // Reference: the serialized run nothing ever happens to.
+    let reference = Trainer::new(cfg.clone())
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate")
+        .completed();
+
+    let outcome = Trainer::new(cfg.clone())
+        .fusion(fusion)
+        .fault(FaultPlan {
+            rank: 1,
+            at_step: 7,
+        })
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("no snapshot to validate");
+    let TrainOutcome::Interrupted { failure, snapshot } = outcome else {
+        panic!("armed fault must interrupt the fused run");
+    };
+    // Lock-step abort: every rank stops at the same global step.
+    assert_eq!(failure.rank, 1);
+    assert_eq!(failure.at_step, 7);
+    let snapshot = snapshot.expect("the step-6 checkpoint preceded the kill");
+
+    let resumed = Trainer::new(cfg.clone())
+        .fusion(fusion)
+        .resume(&snapshot)
+        .run(&ds, mlp, opt, SoftmaxCrossEntropy)
+        .expect("snapshot matches the config");
+    let TrainOutcome::Completed(resumed) = resumed else {
+        panic!("resumed run has no fault armed");
+    };
+
+    // Fused + overlapped + killed + resumed ≡ serialized uninterrupted.
+    assert_eq!(resumed.final_params, reference.final_params);
+    assert_eq!(resumed.final_state, reference.final_state);
+    assert_eq!(resumed.steps_per_rank, reference.steps_per_rank);
+    for (r, e) in resumed.epochs.iter().zip(&reference.epochs) {
+        assert_eq!(r.mean_loss.to_bits(), e.mean_loss.to_bits());
+    }
 }
 
 #[test]

@@ -17,6 +17,10 @@ use msa_suite::msa_net::fabric::{simulate as simulate_fabric, FatTree, Flow};
 use msa_suite::msa_net::{
     CollectiveAlgo, Communicator as _, LinkParams, PointToPoint as _, ThreadComm,
 };
+use msa_suite::distrib::{FusionConfig, TrainConfig, Trainer};
+use msa_suite::nn::{
+    BatchNorm, Dense, Optimizer, Relu, Sequential, Sgd, SoftmaxCrossEntropy,
+};
 use msa_suite::qa::{anneal, brute_force, Qubo, SaParams};
 use msa_suite::tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use msa_suite::tensor::Tensor;
@@ -331,6 +335,94 @@ fn matmul_k_blocking_never_reassociates_the_sum() {
             &reference::matmul_nt_dot(&a, &bt),
             &format!("{tag} nt"),
         );
+    }
+}
+
+/// PR5 invariant: gradient bucket fusion with backward/allreduce overlap
+/// never reassociates the gradient sum. Every bucket is exchanged with
+/// `pipeline_allreduce`, whose element-wise fold order depends only on
+/// rank order — never on where the flat gradient was cut — so for every
+/// worker count and every fusion threshold (1 KiB, 64 KiB, 1 MiB,
+/// unfused) the trained parameters, BatchNorm running statistics and
+/// per-epoch mean losses equal the serialized path under exact `to_bits`
+/// equality, not a tolerance.
+#[test]
+fn gradient_bucket_fusion_never_reassociates_the_sum() {
+    fn model(seed: u64) -> Sequential {
+        let mut rng = msa_suite::tensor::Rng::seed(seed);
+        Sequential::new()
+            .push(Dense::new(8, 24, &mut rng))
+            .push(BatchNorm::new(24))
+            .push(Relu::new())
+            .push(Dense::new(24, 4, &mut rng))
+    }
+    fn opt(lr: f32) -> Box<dyn Optimizer> {
+        Box::new(Sgd::new(lr, 0.9, 1e-4))
+    }
+    let dim = 8;
+    let classes = 4;
+    let mut rng = msa_suite::tensor::Rng::seed(71);
+    let n = 192;
+    let mut x = Vec::with_capacity(n * dim);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(classes);
+        let mut row: Vec<f32> = (0..dim).map(|_| rng.normal() * 0.3).collect();
+        row[c] += 2.0;
+        x.extend(row);
+        y.push(c as f32);
+    }
+    let ds = data::Dataset {
+        x: Tensor::from_vec(x, &[n, dim]),
+        y: Tensor::from_vec(y, &[n]),
+    };
+
+    for &workers in &[1usize, 4, 8] {
+        let cfg = TrainConfig {
+            workers,
+            epochs: 2,
+            batch_per_worker: 8,
+            base_lr: 0.05,
+            lr_scaling: true,
+            warmup_epochs: 1,
+            seed: 17,
+            checkpoint: None,
+        };
+        let base = Trainer::new(cfg.clone())
+            .run(&ds, model, opt, SoftmaxCrossEntropy)
+            .expect("no snapshot to validate")
+            .completed();
+        for fusion in [
+            FusionConfig::fused(1024),
+            FusionConfig::fused(64 * 1024),
+            FusionConfig::fused(1024 * 1024),
+            FusionConfig::unfused().overlap(true),
+        ] {
+            let got = Trainer::new(cfg.clone())
+                .fusion(fusion)
+                .run(&ds, model, opt, SoftmaxCrossEntropy)
+                .expect("no snapshot to validate")
+                .completed();
+            assert_eq!(
+                base.final_params, got.final_params,
+                "p={workers} {fusion:?}: parameters diverged"
+            );
+            assert_eq!(
+                base.final_state, got.final_state,
+                "p={workers} {fusion:?}: BatchNorm state diverged"
+            );
+            assert_eq!(base.epochs.len(), got.epochs.len());
+            for (b, g) in base.epochs.iter().zip(&got.epochs) {
+                assert_eq!(
+                    b.mean_loss.to_bits(),
+                    g.mean_loss.to_bits(),
+                    "p={workers} {fusion:?} epoch {}: {} vs {}",
+                    b.epoch,
+                    b.mean_loss,
+                    g.mean_loss
+                );
+            }
+        }
     }
 }
 
