@@ -8,7 +8,7 @@
 //! literature; release/acquire orderings establish the happens-before
 //! edges between the last arriver and the waiters.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use msa_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable barrier for exactly `n` threads.
 pub struct SenseBarrier {
@@ -52,9 +52,9 @@ impl SenseBarrier {
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins += 1;
                 if spins < 64 {
-                    std::hint::spin_loop();
+                    msa_sync::hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    msa_sync::thread::yield_now();
                 }
             }
             false

@@ -17,7 +17,7 @@
 
 use crate::cost::LinkParams;
 use msa_obs::Recorder;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use msa_sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// The collective (or bare point-to-point traffic) an endpoint is
 /// currently executing. Used to attribute per-message counters.

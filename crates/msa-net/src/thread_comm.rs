@@ -135,7 +135,7 @@ pub struct ThreadComm {
     /// grow — zero in steady state, and deterministic: credits cycle
     /// through each channel in FIFO order, so the count depends only on
     /// the per-channel message-length sequence, never on thread timing.
-    pool_allocs: std::sync::atomic::AtomicU64,
+    pool_allocs: msa_sync::atomic::AtomicU64,
     /// Armed fault, shared (by value) across all endpoints.
     fault: Option<FaultPlan>,
     /// Per-endpoint traffic counters (always on; relaxed atomics).
@@ -224,7 +224,7 @@ impl ThreadComm {
                 receivers,
                 pool_credits,
                 pool_return,
-                pool_allocs: std::sync::atomic::AtomicU64::new(0),
+                pool_allocs: msa_sync::atomic::AtomicU64::new(0),
                 fault,
                 stats: CommStats::new(link),
             })
@@ -295,7 +295,7 @@ impl ThreadComm {
     /// that, repeating the same collectives keeps this constant. The
     /// value is deterministic across runs (see the field doc).
     pub fn pool_allocs(&self) -> u64 {
-        self.pool_allocs.load(std::sync::atomic::Ordering::Relaxed)
+        self.pool_allocs.load(msa_sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -341,7 +341,7 @@ impl PointToPoint for ThreadComm {
             .expect("peer endpoint dropped while communicator in use");
         if buf.capacity() < data.len() {
             self.pool_allocs
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(1, msa_sync::atomic::Ordering::Relaxed);
         }
         buf.clear();
         buf.extend_from_slice(data);

@@ -1,0 +1,122 @@
+//! Vector clocks: the happens-before lattice the race detector runs on.
+//!
+//! A clock maps thread id → logical time. Thread `a`'s access at clock
+//! `Ca` happens-before thread `b`'s access at clock `Cb` iff
+//! `Ca[a] <= Cb[a]` — i.e. `b` has already *joined* a clock that
+//! contains `a`'s tick. Joins happen on the synchronization edges the
+//! scheduler models: mutex release→acquire, acquiring atomic
+//! loads/RMWs, and thread spawn/join.
+
+/// A grow-on-demand vector clock. Missing entries are implicitly zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The component for thread `tid`.
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advances thread `tid`'s own component by one.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        self.grow_to(tid);
+        self.0[tid] += 1;
+    }
+
+    /// Raises `tid`'s component to at least `v`.
+    pub(crate) fn set_max(&mut self, tid: usize, v: u32) {
+        self.grow_to(tid);
+        if self.0[tid] < v {
+            self.0[tid] = v;
+        }
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything ordered
+    /// before `o` is ordered before `self`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if *mine < *theirs {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Resets every component to zero (used when a relaxed store breaks
+    /// an atomic location's release sequence).
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Non-zero components, as `(tid, time)` pairs in tid order.
+    pub(crate) fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.0
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, v)| v > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::default();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        // Joining the shorter clock into the longer keeps entries.
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn happens_before_via_components() {
+        // a ticks, b joins a: a's access (time 1) is ordered before
+        // anything b does afterwards (b.get(a) >= 1).
+        let mut a = VClock::default();
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        assert!(b.get(0) < a.get(0), "unordered before the join");
+        b.join(&a);
+        assert!(b.get(0) >= a.get(0), "ordered after the join");
+    }
+
+    #[test]
+    fn clear_and_iter() {
+        let mut c = VClock::default();
+        c.tick(0);
+        c.tick(2);
+        let nz: Vec<_> = c.iter_nonzero().collect();
+        assert_eq!(nz, vec![(0, 1), (2, 1)]);
+        c.clear();
+        assert_eq!(c.iter_nonzero().count(), 0);
+    }
+}

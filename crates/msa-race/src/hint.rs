@@ -1,0 +1,13 @@
+//! Spin-loop hint. Inside a model this is a yield point identical to
+//! [`crate::thread::yield_now`] (the distinction only matters on real
+//! hardware); outside it is the real `std::hint::spin_loop`.
+
+use crate::sched;
+
+pub fn spin_loop() {
+    if let Some(ctx) = sched::current() {
+        ctx.sched.yield_op(ctx.tid);
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,146 @@
+//! Model of the sense-reversing barrier (`crates/msa-net/src/barrier.rs`):
+//! arrivals are counted with an RMW on `count`, the leader resets the
+//! count and flips `sense`, and waiters spin on `sense` with a
+//! spin/yield backoff.
+//!
+//! [`BarrierOrderings`] exposes every ordering in the protocol so the
+//! checker can demonstrate which ones are load-bearing:
+//! * `arrive` must be `AcqRel`: the RMW chain is how the leader
+//!   happens-after every other arriver's pre-barrier writes;
+//! * `flip` must be `Release` and `spin` must be `Acquire`: that pair
+//!   publishes the leader's (transitively, everyone's) writes to the
+//!   spinning waiters;
+//! * `reset` may be `Relaxed`: nobody reads `count` again until after
+//!   acquiring the flip, which orders the reset.
+
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::RaceCell;
+use crate::thread;
+use std::sync::Arc;
+
+/// The orderings used by one model barrier.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierOrderings {
+    pub arrive: Ordering,
+    pub flip: Ordering,
+    pub spin: Ordering,
+    pub reset: Ordering,
+}
+
+impl BarrierOrderings {
+    /// The shipped configuration of `msa_net::SenseBarrier`.
+    pub fn correct() -> BarrierOrderings {
+        BarrierOrderings {
+            arrive: Ordering::AcqRel,
+            flip: Ordering::Release,
+            spin: Ordering::Acquire,
+            reset: Ordering::Relaxed,
+        }
+    }
+
+    /// Pre-audit shape with a relaxed sense flip: waiters acquire
+    /// nothing when they see the new sense.
+    pub fn relaxed_flip() -> BarrierOrderings {
+        BarrierOrderings {
+            flip: Ordering::Relaxed,
+            ..BarrierOrderings::correct()
+        }
+    }
+
+    /// Pre-audit shape with a relaxed arrival RMW: the leader misses
+    /// the other arrivers' clocks.
+    pub fn relaxed_arrive() -> BarrierOrderings {
+        BarrierOrderings {
+            arrive: Ordering::Relaxed,
+            ..BarrierOrderings::correct()
+        }
+    }
+}
+
+/// Port of `SenseBarrier` over the instrumented atomics.
+struct BarrierModel {
+    n: usize,
+    ord: BarrierOrderings,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl BarrierModel {
+    fn new(n: usize, ord: BarrierOrderings) -> BarrierModel {
+        BarrierModel {
+            n,
+            ord,
+            count: AtomicUsize::named(0, "barrier.count"),
+            sense: AtomicBool::named(false, "barrier.sense"),
+        }
+    }
+
+    /// Returns `true` for the phase leader, like the real barrier.
+    fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        if self.count.fetch_add(1, self.ord.arrive) + 1 == self.n {
+            self.count.store(0, self.ord.reset);
+            self.sense.store(my_sense, self.ord.flip);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(self.ord.spin) != my_sense {
+                if spins < 64 {
+                    crate::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+                spins += 1;
+            }
+            false
+        }
+    }
+}
+
+/// `p` participants run `phases` rounds; in each round every thread
+/// writes its own slot before the barrier and reads *all* slots after
+/// it — the all-to-all visibility the barrier must provide. Also checks
+/// leader uniqueness (exactly one leader per phase).
+pub fn barrier_phases(p: usize, phases: usize, ord: BarrierOrderings) {
+    assert!(p >= 2, "a one-thread barrier has no concurrency");
+    let barrier = Arc::new(BarrierModel::new(p, ord));
+    let slots: Arc<Vec<Vec<RaceCell<u64>>>> = Arc::new(
+        (0..phases)
+            .map(|_| (0..p).map(|_| RaceCell::named(0, "barrier.slot")).collect())
+            .collect(),
+    );
+    let leaders = Arc::new(AtomicUsize::named(0, "barrier.leaders"));
+
+    let round = move |me: usize, barrier: &BarrierModel, slots: &[Vec<RaceCell<u64>>], leaders: &AtomicUsize| {
+        for (phase, row) in slots.iter().enumerate() {
+            row[me].set((phase * p + me + 1) as u64);
+            if barrier.wait() {
+                leaders.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut sum = 0u64;
+            for cell in row.iter() {
+                sum += cell.get();
+            }
+            let base = (phase * p) as u64 * p as u64;
+            let expect = base + (p as u64 * (p as u64 + 1)) / 2;
+            assert_eq!(sum, expect, "phase {phase}: all pre-barrier writes visible");
+        }
+    };
+
+    let mut handles = Vec::new();
+    for me in 0..p - 1 {
+        let b = Arc::clone(&barrier);
+        let s = Arc::clone(&slots);
+        let l = Arc::clone(&leaders);
+        handles.push(thread::spawn(move || round(me, &b, &s, &l)));
+    }
+    round(p - 1, &barrier, &slots, &leaders);
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(
+        leaders.load(Ordering::Relaxed),
+        phases,
+        "exactly one leader per phase"
+    );
+}

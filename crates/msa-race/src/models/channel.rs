@@ -1,0 +1,176 @@
+//! Model of the mpsc channel behind `ThreadComm` (`shims/crossbeam`)
+//! and the credit-pool protocol the slab collectives layer on top of
+//! it.
+//!
+//! The knob here is [`ModelChannel::close_sender`]'s `locked_notify`
+//! argument. The receiver's wait loop is the classic
+//! check-then-wait: it pops under the queue lock, sees the queue empty
+//! and senders still alive, and calls `Condvar::wait`. If the last
+//! sender decrements the refcount and calls `notify_all` *without*
+//! holding the queue lock (the pre-fix `Drop<Sender>`), the notify can
+//! land in the window between the receiver's check and its wait — the
+//! receiver sleeps forever. Holding the queue lock across the notify
+//! closes the window, because the receiver is either before its check
+//! (and will see `senders == 0`) or already waiting (and will hear the
+//! notify).
+
+use super::{cv_wait, lock};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex, RaceCell};
+use crate::thread;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Every sender handle dropped with the queue empty — the model's
+/// `crossbeam::channel::RecvError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+/// Minimal port of the shim channel: a locked `VecDeque`, a condvar,
+/// and a sender refcount.
+pub struct ModelChannel<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+}
+
+impl<T> ModelChannel<T> {
+    pub fn new(senders: usize) -> ModelChannel<T> {
+        ModelChannel {
+            queue: Mutex::named(VecDeque::new(), "chan.queue"),
+            ready: Condvar::named("chan.ready"),
+            senders: AtomicUsize::named(senders, "chan.senders"),
+        }
+    }
+
+    /// `Sender::send`: push under the lock, notify under the lock
+    /// (matches the shipped shim).
+    pub fn send(&self, v: T) {
+        let mut q = lock(&self.queue);
+        q.push_back(v);
+        self.ready.notify_one();
+    }
+
+    /// `Receiver::recv`: pop, or wait until a message or disconnect.
+    pub fn recv(&self) -> Result<T, Disconnected> {
+        let mut q = lock(&self.queue);
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.senders.load(Ordering::Acquire) == 0 {
+                return Err(Disconnected);
+            }
+            q = cv_wait(&self.ready, q);
+        }
+    }
+
+    /// `Drop<Sender>`: drop one sender handle. `locked_notify = false`
+    /// reproduces the pre-fix shape (notify without the queue lock);
+    /// `true` is the shipped fix.
+    pub fn close_sender(&self, locked_notify: bool) {
+        if self.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if locked_notify {
+                let _guard = lock(&self.queue);
+                self.ready.notify_all();
+            } else {
+                self.ready.notify_all();
+            }
+        }
+    }
+}
+
+/// The lost-wakeup surface in isolation: one sender sends nothing and
+/// just drops; the receiver must still return `Err` instead of hanging.
+/// With `fixed = false` the checker reports a lost wakeup.
+pub fn drop_last_sender_wakes_receiver(fixed: bool) {
+    let chan: Arc<ModelChannel<u64>> = Arc::new(ModelChannel::new(1));
+    let tx = Arc::clone(&chan);
+    let sender = thread::spawn(move || tx.close_sender(fixed));
+    assert_eq!(chan.recv(), Err(Disconnected), "disconnect must surface as Err");
+    sender.join();
+}
+
+/// The slab credit pool: `credits` buffer slots circulate between a
+/// credit channel (consumer → producers) and a data channel (producers
+/// → consumer). A producer acquires a credit, writes its payload into
+/// the slot's `RaceCell`, and sends the slot id; the consumer reads the
+/// cell and recycles the credit. Reusing a slot without the
+/// channel-provided happens-before edge would be reported as a race on
+/// the cell.
+pub fn credit_pool(producers: usize, msgs_per: usize, credits: usize) {
+    assert!(credits >= 1);
+    let credit_chan: Arc<ModelChannel<usize>> = Arc::new(ModelChannel::new(1));
+    let data_chan: Arc<ModelChannel<usize>> = Arc::new(ModelChannel::new(producers));
+    let bufs: Arc<Vec<RaceCell<u64>>> = Arc::new(
+        (0..credits).map(|_| RaceCell::named(0, "credit.buf")).collect(),
+    );
+    for c in 0..credits {
+        credit_chan.send(c);
+    }
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let credit = Arc::clone(&credit_chan);
+        let data = Arc::clone(&data_chan);
+        let bufs = Arc::clone(&bufs);
+        handles.push(thread::spawn(move || {
+            for m in 0..msgs_per {
+                // lint: allow(unwrap) -- model assertion: a panic here is a checker-reported failure
+                let slot = credit.recv().expect("credits never disconnect mid-run");
+                bufs[slot].set((p * msgs_per + m + 1) as u64);
+                data.send(slot);
+            }
+            data.close_sender(true);
+        }));
+    }
+
+    let mut total = 0u64;
+    for _ in 0..producers * msgs_per {
+        // lint: allow(unwrap) -- model assertion: a panic here is a checker-reported failure
+        let slot = data_chan.recv().expect("producers still sending");
+        total += bufs[slot].get();
+        credit_chan.send(slot);
+    }
+    assert_eq!(data_chan.recv(), Err(Disconnected), "all producers hung up");
+    let n = (producers * msgs_per) as u64;
+    assert_eq!(total, n * (n + 1) / 2, "every payload seen exactly once");
+    for h in handles {
+        h.join();
+    }
+}
+
+/// The exact shape of the PR 5 lost wakeup, reduced to two threads.
+/// The waiter's condition is an *atomic* flag, not state under the
+/// condvar's mutex — just like the channel's sender refcount. Because
+/// the flag lives outside the mutex, the registrar's store + notify can
+/// land entirely inside the window between the waiter's check and its
+/// wait; the notify finds no waiter enqueued and the waiter sleeps
+/// forever. Taking the mutex before notifying (`fixed = true`) closes
+/// the window: the waiter holds it from check to enqueue.
+pub fn rendezvous_handoff(fixed: bool) {
+    let registered = Arc::new(AtomicUsize::named(0, "rendezvous.registered"));
+    let gate = Arc::new(Mutex::named((), "rendezvous.gate"));
+    let cv = Arc::new(Condvar::named("rendezvous.cv"));
+
+    let flag = Arc::clone(&registered);
+    let gate2 = Arc::clone(&gate);
+    let signal = Arc::clone(&cv);
+    let registrar = thread::spawn(move || {
+        flag.store(1, Ordering::Release);
+        if fixed {
+            let _guard = lock(&gate2);
+            signal.notify_one();
+        } else {
+            // Pre-fix: notify without the lock the waiter checks under.
+            signal.notify_one();
+        }
+    });
+
+    let mut g = lock(&gate);
+    while registered.load(Ordering::Acquire) == 0 {
+        g = cv_wait(&cv, g);
+    }
+    drop(g);
+    registrar.join();
+}

@@ -1,0 +1,163 @@
+//! Model of the thread pool's task protocol (`shims/rayon/src/pool.rs`):
+//! blocks are claimed through `next.fetch_add`, completion is counted in
+//! `done`, and the last finisher flips `finished` under a mutex and
+//! notifies the submitting thread.
+//!
+//! The interesting knob is [`PoolConfig::done_order`]: the ordering of
+//! `done.fetch_add`. The pool's lifetime-transmute safety argument
+//! needs the submitter's read of every block's output to happen-after
+//! that block's execution. With `AcqRel` the RMW chain on `done`
+//! accumulates every worker's clock into the last finisher, which hands
+//! it to the submitter through the `finished` mutex. With plain
+//! `Release` (the pre-fix code) the RMW's read side is relaxed, the
+//! chain accumulates nothing, and the submitter's read of a block
+//! written by a *non-last* worker races — which is exactly what the
+//! checker reports.
+
+use super::{cv_wait, lock};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex, RaceCell};
+use crate::thread;
+use std::sync::Arc;
+
+/// One model task, mirroring `pool::Task`.
+struct TaskModel {
+    blocks: usize,
+    done_order: Ordering,
+    panic_block: Option<usize>,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    /// Per-block output slot — the non-atomic data the protocol must
+    /// order. Written by whichever thread runs the block, read by the
+    /// submitter after `wait_finished`.
+    slots: Vec<RaceCell<u64>>,
+    /// Stand-in for the caught panic payload of a failing block.
+    panic: Mutex<Option<u64>>,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl TaskModel {
+    fn new(cfg: PoolConfig) -> TaskModel {
+        TaskModel {
+            blocks: cfg.blocks,
+            done_order: cfg.done_order,
+            panic_block: cfg.panic_block,
+            next: AtomicUsize::named(0, "task.next"),
+            done: AtomicUsize::named(0, "task.done"),
+            slots: (0..cfg.blocks).map(|_| RaceCell::named(0, "task.slot")).collect(),
+            panic: Mutex::named(None, "task.panic"),
+            finished: Mutex::named(false, "task.finished"),
+            finished_cv: Condvar::named("task.finished_cv"),
+        }
+    }
+
+    /// `Task::run_to_exhaustion`, block for block.
+    fn run_to_exhaustion(&self) {
+        loop {
+            let b = self.next.fetch_add(1, Ordering::Relaxed);
+            if b >= self.blocks {
+                return;
+            }
+            if self.panic_block == Some(b) {
+                // The real pool catches the unwind and stashes the
+                // payload; model the stash, not the unwind.
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(b as u64);
+                }
+            } else {
+                self.slots[b].set(b as u64 + 1);
+            }
+            let d = self.done.fetch_add(1, self.done_order) + 1;
+            if d == self.blocks {
+                *lock(&self.finished) = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+
+    /// `Task::wait_finished`.
+    fn wait_finished(&self) {
+        let mut f = lock(&self.finished);
+        while !*f {
+            f = cv_wait(&self.finished_cv, f);
+        }
+    }
+}
+
+/// Model parameters for one pool-protocol exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads in addition to the submitting thread.
+    pub workers: usize,
+    pub blocks: usize,
+    /// Ordering of `done.fetch_add`; `AcqRel` is the shipped (fixed)
+    /// value, `Release` the pre-fix bug.
+    pub done_order: Ordering,
+    /// When set, this block "panics" instead of producing output.
+    pub panic_block: Option<usize>,
+}
+
+impl PoolConfig {
+    /// The shipped configuration at a given size.
+    pub fn correct(workers: usize, blocks: usize) -> PoolConfig {
+        PoolConfig {
+            workers,
+            blocks,
+            done_order: Ordering::AcqRel,
+            panic_block: None,
+        }
+    }
+}
+
+/// One submit cycle: spawn workers, everyone claims blocks, the
+/// submitter waits for completion and then reads every output slot —
+/// the access pattern the pool's `unsafe` lifetime argument relies on.
+pub fn pool_protocol(cfg: PoolConfig) {
+    let task = Arc::new(TaskModel::new(cfg));
+    let mut workers = Vec::new();
+    for _ in 0..cfg.workers {
+        let t = Arc::clone(&task);
+        workers.push(thread::spawn(move || t.run_to_exhaustion()));
+    }
+    // The submitting thread participates, exactly like `run_blocks`.
+    task.run_to_exhaustion();
+    task.wait_finished();
+
+    // Submitter reads every block's output before the workers are
+    // joined (the real caller returns while workers may still hold the
+    // Arc) — this is where a missing happens-before edge shows up.
+    let mut sum = 0u64;
+    for s in &task.slots {
+        sum += s.get();
+    }
+    let skipped = cfg.panic_block.map_or(0, |b| b as u64 + 1);
+    let expect: u64 = (1..=cfg.blocks as u64).sum::<u64>() - skipped;
+    assert_eq!(sum, expect, "every block must run exactly once");
+    let payload = lock(&task.panic).take();
+    match cfg.panic_block {
+        Some(b) => assert_eq!(payload, Some(b as u64), "panic must be stashed for the caller"),
+        None => assert!(payload.is_none()),
+    }
+    for w in workers {
+        w.join();
+    }
+}
+
+/// Nested fork/join as a pool worker would see it: a spawned thread
+/// spawns and joins its own child, and the root observes the
+/// grandchild's write purely through the join edges.
+pub fn nested_join() {
+    let cell = Arc::new(RaceCell::named(0u64, "nested.out"));
+    let outer_cell = Arc::clone(&cell);
+    let outer = thread::spawn(move || {
+        let inner_cell = Arc::clone(&outer_cell);
+        let inner = thread::spawn(move || inner_cell.set(42));
+        inner.join();
+        outer_cell.get()
+    });
+    let seen_by_outer = outer.join();
+    assert_eq!(seen_by_outer, 42);
+    assert_eq!(cell.get(), 42, "root sees the grandchild write via joins");
+}

@@ -1,0 +1,284 @@
+//! Instrumented replacements for the `std::sync` surface the workspace's
+//! concurrency code uses. Inside an [`crate::explore`] model every
+//! operation is a scheduler choice point with happens-before tracking;
+//! outside a model (no scheduler context on this thread) every type
+//! falls back to plain `std` behavior, so code built against these
+//! types still runs normally in an instrumented build.
+//!
+//! API compatibility: `Mutex::lock`/`Condvar::wait` return
+//! [`std::sync::LockResult`] like their `std` counterparts, so
+//! poison-tolerant call sites (`unwrap_or_else(PoisonError::into_inner)`)
+//! compile unchanged against either backend.
+//!
+//! [`RaceCell`] is the non-atomic memory the race detector watches — the
+//! model-side stand-in for data the real code guards with the protocol
+//! under test (loom's `UnsafeCell` analogue, safe-Rust flavored).
+
+use crate::sched;
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::{LockResult, OnceLock, PoisonError};
+
+pub mod atomic;
+
+static NEXT_OBJ_ID: StdAtomicU64 = StdAtomicU64::new(1);
+
+/// Lazily assigned model-object identity. Lazy (rather than assigned in
+/// `new`) so constructors stay `const`, matching `std`.
+#[derive(Debug)]
+pub(crate) struct ObjId(OnceLock<u64>);
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        ObjId(OnceLock::new())
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        // Relaxed is enough: this is pure id allocation, no data is
+        // published through the counter.
+        *self
+            .0
+            .get_or_init(|| NEXT_OBJ_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
+/// A mutex that is a scheduler choice point inside a model and a plain
+/// `std::sync::Mutex` outside one.
+pub struct Mutex<T> {
+    pub(crate) obj: ObjId,
+    pub(crate) label: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            obj: ObjId::new(),
+            label: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Like [`Mutex::new`] with a label used in traces and reports.
+    pub const fn named(value: T, label: &'static str) -> Self {
+        Mutex {
+            obj: ObjId::new(),
+            label: Some(label),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(ctx) = sched::current() {
+            ctx.sched.mutex_lock(ctx.tid, self.obj.get(), self.label);
+            // Only one model thread runs at a time and the model owner
+            // is us, so the real lock is uncontended here.
+            let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                model: true,
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it is a model operation.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently inside `Condvar::wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => panic!("mutex guard used during a condvar handoff"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => panic!("mutex guard used during a condvar handoff"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if self.model {
+                if let Some(ctx) = sched::current() {
+                    if std::thread::panicking() {
+                        // Unwinding (abort teardown or a model assert):
+                        // entering a choice point here would panic
+                        // again and abort the process.
+                        ctx.sched.release_on_unwind(ctx.tid, self.lock.obj.get());
+                    } else {
+                        ctx.sched.mutex_unlock(ctx.tid, self.lock.obj.get());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A condvar that is a scheduler choice point inside a model (with
+/// lost-wakeup bookkeeping) and a plain `std::sync::Condvar` outside.
+pub struct Condvar {
+    obj: ObjId,
+    label: Option<&'static str>,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            obj: ObjId::new(),
+            label: None,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub const fn named(label: &'static str) -> Self {
+        Condvar {
+            obj: ObjId::new(),
+            label: Some(label),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some(ctx) = sched::current() {
+            let mutex = guard.lock;
+            // Hand the real lock back before parking the model thread;
+            // the model releases the model mutex atomically with the
+            // wait, exactly like a real condvar.
+            drop(guard.inner.take());
+            ctx.sched
+                .condvar_wait(ctx.tid, self.obj.get(), self.label, mutex.obj.get());
+            // Woken: reacquire through the model (the happens-before
+            // edge), then retake the real lock.
+            ctx.sched
+                .mutex_lock(ctx.tid, mutex.obj.get(), mutex.label);
+            guard.inner = Some(mutex.inner.lock().unwrap_or_else(PoisonError::into_inner));
+            guard.model = true;
+            Ok(guard)
+        } else {
+            let Some(inner) = guard.inner.take() else {
+                panic!("mutex guard used during a condvar handoff");
+            };
+            match self.inner.wait(inner) {
+                Ok(g) => {
+                    guard.inner = Some(g);
+                    Ok(guard)
+                }
+                Err(p) => {
+                    guard.inner = Some(p.into_inner());
+                    Err(PoisonError::new(guard))
+                }
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some(ctx) = sched::current() {
+            ctx.sched
+                .condvar_notify(ctx.tid, self.obj.get(), self.label, false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if let Some(ctx) = sched::current() {
+            ctx.sched
+                .condvar_notify(ctx.tid, self.obj.get(), self.label, true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+/// Plain shared memory under race detection: every `get`/`set` inside a
+/// model is checked against the vector clocks of prior accesses, and an
+/// unordered pair aborts the schedule with a [`crate::FailureKind::DataRace`].
+///
+/// Backed by a `std::sync::Mutex` so the type stays safe Rust; inside a
+/// model only one thread runs at a time, so the lock is never contended
+/// and adds no blocking behavior of its own.
+pub struct RaceCell<T> {
+    obj: ObjId,
+    label: Option<&'static str>,
+    value: std::sync::Mutex<T>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    pub const fn new(value: T) -> Self {
+        RaceCell {
+            obj: ObjId::new(),
+            label: None,
+            value: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub const fn named(value: T, label: &'static str) -> Self {
+        RaceCell {
+            obj: ObjId::new(),
+            label: Some(label),
+            value: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn raw_get(&self) -> T {
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn raw_set(&self, value: T) {
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+
+    pub fn get(&self) -> T {
+        if let Some(ctx) = sched::current() {
+            ctx.sched
+                .cell_read(ctx.tid, self.obj.get(), self.label, || self.raw_get())
+        } else {
+            self.raw_get()
+        }
+    }
+
+    pub fn set(&self, value: T) {
+        if let Some(ctx) = sched::current() {
+            ctx.sched
+                .cell_write(ctx.tid, self.obj.get(), self.label, || self.raw_set(value));
+        } else {
+            self.raw_set(value);
+        }
+    }
+}

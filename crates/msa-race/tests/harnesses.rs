@@ -1,0 +1,239 @@
+//! Checker harnesses over the workspace protocol models.
+//!
+//! Two directions, both load-bearing:
+//! * shipped configurations must explore **clean** (no failure);
+//! * known-bad pre-fix configurations must be **found** — these are the
+//!   regression tests for the checker itself. If a "found" test starts
+//!   passing clean, the checker lost its teeth.
+//!
+//! Exploration sizes are tuned for CI: small thread counts exhaustive
+//! under a preemption bound, larger ones as seeded random walks.
+
+use msa_race::models::barrier::{barrier_phases, BarrierOrderings};
+use msa_race::models::channel::{
+    credit_pool, drop_last_sender_wakes_receiver, rendezvous_handoff,
+};
+use msa_race::models::pool::{nested_join, pool_protocol, PoolConfig};
+use msa_race::sync::atomic::Ordering;
+use msa_race::{explore, FailureKind, Options};
+
+fn assert_clean(opts: &Options, what: &str, f: impl Fn() + Send + Sync + 'static) {
+    match explore(opts, f) {
+        Ok(stats) => {
+            assert!(stats.schedules > 0, "{what}: explored nothing");
+        }
+        Err(failure) => panic!("{what}: expected clean exploration, found:\n{failure}"),
+    }
+}
+
+fn assert_found(
+    opts: &Options,
+    what: &str,
+    f: impl Fn() + Send + Sync + 'static,
+    matches: impl Fn(&FailureKind) -> bool,
+) {
+    match explore(opts, f) {
+        Ok(stats) => panic!(
+            "{what}: expected the checker to find the bug, but {} schedules were clean",
+            stats.schedules
+        ),
+        Err(failure) => {
+            assert!(
+                matches(&failure.kind),
+                "{what}: found the wrong failure kind:\n{failure}"
+            );
+            assert!(
+                !failure.trace.is_empty(),
+                "{what}: failure must carry a replayable trace"
+            );
+        }
+    }
+}
+
+// --- pool: claim / done / finished protocol -------------------------------
+
+#[test]
+fn pool_shipped_protocol_is_clean() {
+    assert_clean(
+        &Options::exhaustive(2),
+        "pool AcqRel, 2 workers x 3 blocks",
+        || pool_protocol(PoolConfig::correct(1, 3)),
+    );
+}
+
+#[test]
+fn pool_release_done_counter_is_found() {
+    // The pre-fix bug: `done.fetch_add(1, Release)` — the RMW read side
+    // is relaxed, so the last finisher does not happen-after the other
+    // workers' block writes, and the submitter's read of their output
+    // slots races.
+    let cfg = PoolConfig {
+        done_order: Ordering::Release,
+        ..PoolConfig::correct(1, 3)
+    };
+    assert_found(
+        &Options::exhaustive(2),
+        "pool Release done-counter",
+        move || pool_protocol(cfg),
+        |k| matches!(k, FailureKind::DataRace { object, .. } if object.contains("task.slot")),
+    );
+}
+
+#[test]
+fn pool_panic_block_is_stashed_for_caller() {
+    let cfg = PoolConfig {
+        panic_block: Some(1),
+        ..PoolConfig::correct(1, 3)
+    };
+    assert_clean(
+        &Options::exhaustive(2),
+        "pool with a panicking block",
+        move || pool_protocol(cfg),
+    );
+}
+
+#[test]
+fn pool_three_workers_random_walk_is_clean() {
+    assert_clean(
+        &Options::random(0x5eed_0001, 400),
+        "pool AcqRel, 3 workers x 4 blocks (random)",
+        || pool_protocol(PoolConfig::correct(2, 4)),
+    );
+}
+
+#[test]
+fn nested_join_propagates_writes() {
+    assert_clean(&Options::exhaustive(2), "nested fork/join", nested_join);
+}
+
+// --- barrier: sense reversal ----------------------------------------------
+
+#[test]
+fn barrier_shipped_orderings_are_clean_p2() {
+    assert_clean(&Options::exhaustive(2), "barrier p=2, 2 phases", || {
+        barrier_phases(2, 2, BarrierOrderings::correct())
+    });
+}
+
+#[test]
+fn barrier_shipped_orderings_are_clean_p3() {
+    assert_clean(&Options::exhaustive(1), "barrier p=3, 2 phases", || {
+        barrier_phases(3, 2, BarrierOrderings::correct())
+    });
+}
+
+#[test]
+fn barrier_shipped_orderings_are_clean_p4_random() {
+    assert_clean(
+        &Options::random(0x5eed_0002, 300),
+        "barrier p=4 (random)",
+        || barrier_phases(4, 1, BarrierOrderings::correct()),
+    );
+}
+
+#[test]
+fn barrier_relaxed_flip_is_found() {
+    // sense.store(.., Relaxed): a waiter that sees the flip acquires
+    // nothing, so its post-barrier read of another thread's slot races.
+    assert_found(
+        &Options::exhaustive(2),
+        "barrier with Relaxed sense flip",
+        || barrier_phases(2, 1, BarrierOrderings::relaxed_flip()),
+        |k| matches!(k, FailureKind::DataRace { object, .. } if object.contains("barrier.slot")),
+    );
+}
+
+#[test]
+fn barrier_relaxed_arrive_is_found() {
+    // count.fetch_add(.., Relaxed): the leader's RMW joins nothing, so
+    // the leader's post-barrier read of a waiter's slot races.
+    assert_found(
+        &Options::exhaustive(2),
+        "barrier with Relaxed arrive",
+        || barrier_phases(2, 1, BarrierOrderings::relaxed_arrive()),
+        |k| matches!(k, FailureKind::DataRace { object, .. } if object.contains("barrier.slot")),
+    );
+}
+
+// --- channel + slab credit pool -------------------------------------------
+
+#[test]
+fn channel_locked_disconnect_notify_is_clean() {
+    assert_clean(
+        &Options::exhaustive(2),
+        "channel disconnect with locked notify",
+        || drop_last_sender_wakes_receiver(true),
+    );
+}
+
+#[test]
+fn channel_unlocked_disconnect_notify_is_found() {
+    // The PR 5 bug as shipped pre-fix in `Drop<Sender>`: notify_all
+    // without the queue lock can fire between the receiver's
+    // senders-alive check and its wait — the receiver sleeps forever.
+    assert_found(
+        &Options::exhaustive(2),
+        "channel disconnect with unlocked notify",
+        || drop_last_sender_wakes_receiver(false),
+        |k| matches!(k, FailureKind::LostWakeup { .. }),
+    );
+}
+
+#[test]
+fn rendezvous_locked_notify_is_clean() {
+    assert_clean(
+        &Options::exhaustive(2),
+        "rendezvous handoff, notify under lock",
+        || rendezvous_handoff(true),
+    );
+}
+
+#[test]
+fn rendezvous_unlocked_notify_is_found() {
+    assert_found(
+        &Options::exhaustive(2),
+        "rendezvous handoff, notify without lock",
+        || rendezvous_handoff(false),
+        |k| matches!(k, FailureKind::LostWakeup { .. }),
+    );
+}
+
+#[test]
+fn credit_pool_reuse_is_ordered_by_channels() {
+    assert_clean(
+        &Options::exhaustive(1),
+        "slab credit pool, 2 producers, 1 credit",
+        || credit_pool(2, 1, 1),
+    );
+}
+
+#[test]
+fn credit_pool_contended_random_walk_is_clean() {
+    assert_clean(
+        &Options::random(0x5eed_0003, 250),
+        "slab credit pool, 2 producers x 2 msgs, 2 credits (random)",
+        || credit_pool(2, 2, 2),
+    );
+}
+
+// --- failure reports ------------------------------------------------------
+
+#[test]
+fn found_failure_renders_schedule_and_trace() {
+    let failure = explore(&Options::exhaustive(2), || {
+        drop_last_sender_wakes_receiver(false)
+    })
+    .expect_err("pre-fix drop must be found");
+    let text = failure.to_string();
+    assert!(text.contains("lost wakeup"), "report names the class: {text}");
+    assert!(text.contains("schedule"), "report carries the schedule: {text}");
+    assert!(
+        text.contains("chan.ready"),
+        "report names the condvar involved: {text}"
+    );
+    assert_eq!(
+        msa_race::render_trace(&failure.trace).lines().count(),
+        failure.trace.len(),
+        "one rendered line per trace event"
+    );
+}

@@ -1,15 +1,17 @@
 //! `msa-lint`: a dependency-free source scanner enforcing workspace
 //! invariants that rustc/clippy cannot express (or that we do not want to
-//! gate on a nightly toolchain). Six rules:
+//! gate on a nightly toolchain). Eight rules:
 //!
 //! | rule              | scope                     | invariant |
 //! |-------------------|---------------------------|-----------|
 //! | `unwrap`          | every crate               | no `.unwrap()` / `.expect(` in non-test library code |
-//! | `thread-spawn`    | all but `msa-net`, `bench`| no `std::thread::spawn`; concurrency goes through the comm/runtime layers |
+//! | `thread-spawn`    | all but `msa-net`, `bench`, `msa-race` | no `std::thread::spawn`; concurrency goes through the comm/runtime layers |
 //! | `float-eq`        | `ml`, `nn`, `tensor`      | no `==` / `!=` against float literals; numeric code compares with tolerances |
 //! | `pub-event-field` | `msa-core/src/event.rs`   | event structs keep fields private so invariants hold at construction |
 //! | `print`           | every crate               | no `println!`/`eprintln!` in non-test library code; observability goes through `msa-obs` recorders. CLI binaries justify each print with an allow |
 //! | `alloc-in-kernel` | `tensor/src/{matmul,conv}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`) |
+//! | `ordering-audit`  | everywhere but the audited sync cores (`shims/rayon/src/pool.rs`, `msa-net/src/{barrier,thread_comm,stats}.rs`) and `msa-race` itself | no `Ordering::Relaxed` / `Ordering::AcqRel` in non-test code; weak orderings belong in the msa-race-audited sync cores, anywhere else each use justifies itself with an allow |
+//! | `raw-sync`        | `shims/rayon`, `shims/crossbeam`, `msa-net` | no direct `std::sync::{Mutex, Condvar}` / `std::sync::atomic` imports; concurrency primitives go through the `msa_sync` facade so `--cfg msa_check` builds can instrument them |
 //!
 //! Findings print as `file:line: rule — message` and the binary exits
 //! nonzero when any survive. A finding is suppressed by a same-line (or
@@ -66,6 +68,8 @@ pub struct Profile {
     pub pub_event_field: bool,
     pub print: bool,
     pub alloc_in_kernel: bool,
+    pub ordering_audit: bool,
+    pub raw_sync: bool,
 }
 
 impl Profile {
@@ -77,6 +81,8 @@ impl Profile {
             pub_event_field: true,
             print: true,
             alloc_in_kernel: true,
+            ordering_audit: true,
+            raw_sync: true,
         }
     }
 
@@ -97,11 +103,20 @@ impl Profile {
             "msa-net" => file.file_name().is_some_and(|n| n == "collectives.rs"),
             _ => false,
         };
+        // The sync cores whose weak orderings the msa-race checker audits
+        // (models in `msa_race::models`, real code under `--cfg
+        // msa_check`). Relaxed/AcqRel are load-bearing there and reviewed
+        // as a protocol; anywhere else each use justifies itself.
+        let is_sync_core = crate_name == "msa-net"
+            && file.file_name().is_some_and(|n| {
+                n == "barrier.rs" || n == "thread_comm.rs" || n == "stats.rs"
+            });
         Profile {
             unwrap: true,
             // msa-net owns the thread-backed communicator runtime; bench
-            // drives it. Everyone else must go through those layers.
-            thread_spawn: !matches!(crate_name, "msa-net" | "bench"),
+            // drives it; msa-race's model threads are real OS threads by
+            // design. Everyone else must go through those layers.
+            thread_spawn: !matches!(crate_name, "msa-net" | "bench" | "msa-race"),
             float_eq: matches!(crate_name, "ml" | "nn" | "tensor"),
             pub_event_field: is_event_file,
             // Metrics and traces go through msa-obs recorders so runs stay
@@ -109,6 +124,33 @@ impl Profile {
             // binaries only, and those justify each print with an allow.
             print: true,
             alloc_in_kernel: is_kernel_file,
+            // msa-race names orderings as *data* (match arms in the
+            // happens-before rules, knobs in the protocol models), so the
+            // token scan cannot apply there.
+            ordering_audit: !is_sync_core && crate_name != "msa-race",
+            // msa-sync IS the facade; msa-race implements the instrumented
+            // types over std. Everyone else in scope routes through them.
+            raw_sync: crate_name == "msa-net",
+        }
+    }
+
+    /// The rule matrix for `shims/*`. Shims reproduce external crate
+    /// APIs, so the repo style rules (unwrap/print/…) do not apply;
+    /// only the concurrency rules do.
+    pub fn for_shim(shim_name: &str, file: &Path) -> Self {
+        // The pool's task protocol is the audited sync core on the shim
+        // side (`msa_race::models::pool` + DESIGN.md §12).
+        let is_sync_core =
+            shim_name == "rayon" && file.file_name().is_some_and(|n| n == "pool.rs");
+        Profile {
+            unwrap: false,
+            thread_spawn: false,
+            float_eq: false,
+            pub_event_field: false,
+            print: false,
+            alloc_in_kernel: false,
+            ordering_audit: !is_sync_core,
+            raw_sync: matches!(shim_name, "rayon" | "crossbeam"),
         }
     }
 }
@@ -670,6 +712,63 @@ pub fn lint_source(file: &str, source: &str, profile: &Profile) -> Vec<Finding> 
             }
         }
 
+        if profile.ordering_audit && !in_test {
+            for needle in ["Ordering::Relaxed", "Ordering::AcqRel"] {
+                for _ in line.match_indices(needle) {
+                    push(
+                        &mut findings,
+                        &mut used_allows,
+                        idx,
+                        "ordering-audit",
+                        format!(
+                            "`{needle}` outside the msa-race-audited sync cores; use \
+                             Acquire/Release (or SeqCst), move the protocol into an \
+                             audited core, or justify the weak ordering with an allow"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if profile.raw_sync && !in_test {
+            // Direct path references: `std::sync::atomic::…`,
+            // `std::sync::Mutex`, `std::sync::Condvar`.
+            for needle in ["std::sync::atomic", "std::sync::Mutex", "std::sync::Condvar"] {
+                for _ in line.match_indices(needle) {
+                    push(
+                        &mut findings,
+                        &mut used_allows,
+                        idx,
+                        "raw-sync",
+                        format!(
+                            "`{needle}` bypasses the `msa_sync` facade; import from \
+                             `msa_sync` so `--cfg msa_check` builds can instrument it"
+                        ),
+                    );
+                }
+            }
+            // Grouped imports: `use std::sync::{…, Mutex, …}`.
+            for (pos, _) in line.match_indices("std::sync::{") {
+                let rest = &line[pos + "std::sync::{".len()..];
+                let group = rest.split('}').next().unwrap_or(rest);
+                let names_instrumented_type = group
+                    .split(',')
+                    .map(str::trim)
+                    .any(|t| t == "Mutex" || t == "MutexGuard" || t == "Condvar");
+                if names_instrumented_type {
+                    push(
+                        &mut findings,
+                        &mut used_allows,
+                        idx,
+                        "raw-sync",
+                        "`use std::sync::{…}` imports Mutex/Condvar past the `msa_sync` \
+                         facade; import them from `msa_sync` instead"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
         if profile.thread_spawn && line.contains("thread::spawn") {
             push(
                 &mut findings,
@@ -798,29 +897,36 @@ fn lint_file(path: &Path, root: Option<&Path>, profile: &Profile) -> io::Result<
     Ok(lint_source(&display, &source, profile))
 }
 
-/// Walks `crates/*/src/**.rs` under `root` applying the per-crate rule
-/// matrix. Findings come back sorted by path then line.
+/// Walks `crates/*/src/**.rs` and `shims/*/src/**.rs` under `root`
+/// applying the per-crate (resp. per-shim) rule matrix. Findings come
+/// back sorted by path then line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.is_dir() && p.join("src").is_dir())
-        .collect();
-    crate_dirs.sort();
-
     let mut findings = Vec::new();
-    for crate_dir in crate_dirs {
-        let crate_name = crate_dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        let mut files = Vec::new();
-        collect_rs_files(&crate_dir.join("src"), &mut files)?;
-        files.sort();
-        for file in files {
-            let profile = Profile::for_crate(&crate_name, &file);
-            findings.extend(lint_file(&file, Some(root), &profile)?);
+    for (tree, shim) in [("crates", false), ("shims", true)] {
+        let tree_dir = root.join(tree);
+        let mut member_dirs: Vec<PathBuf> = fs::read_dir(&tree_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.join("src").is_dir())
+            .collect();
+        member_dirs.sort();
+
+        for member_dir in member_dirs {
+            let member_name = member_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut files = Vec::new();
+            collect_rs_files(&member_dir.join("src"), &mut files)?;
+            files.sort();
+            for file in files {
+                let profile = if shim {
+                    Profile::for_shim(&member_name, &file)
+                } else {
+                    Profile::for_crate(&member_name, &file)
+                };
+                findings.extend(lint_file(&file, Some(root), &profile)?);
+            }
         }
     }
     Ok(findings)
@@ -988,11 +1094,83 @@ mod tests {
     }
 
     #[test]
+    fn ordering_audit_detected() {
+        let src = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+        assert_eq!(rules(src), vec!["ordering-audit"]);
+        let src = "fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::AcqRel); }\n";
+        assert_eq!(rules(src), vec!["ordering-audit"]);
+        // Acquire/Release/SeqCst are not audited orderings.
+        assert!(strict("fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }\n").is_empty());
+        assert!(strict("fn f(a: &AtomicUsize) { a.store(0, Ordering::SeqCst); }\n").is_empty());
+        // Tests may use relaxed counters freely.
+        let src = "#[test]\nfn t() { C.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(strict(src).is_empty());
+        // A justified allow documents the invariant.
+        let src = "// lint: allow(ordering-audit) -- pure counter, no data published\nfn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(strict(src).is_empty());
+        // Two weak orderings on one line are two findings.
+        let src = "fn f(a: &AtomicUsize) { a.store(a.load(Ordering::Relaxed), Ordering::Relaxed); }\n";
+        assert_eq!(rules(src), vec!["ordering-audit", "ordering-audit"]);
+    }
+
+    #[test]
+    fn raw_sync_detected() {
+        assert_eq!(
+            rules("use std::sync::atomic::{AtomicUsize, Ordering};\n"),
+            vec!["raw-sync"]
+        );
+        assert_eq!(rules("fn f(m: &std::sync::Mutex<u8>) {}\n"), vec!["raw-sync"]);
+        assert_eq!(
+            rules("use std::sync::Condvar;\nfn f() {}\n"),
+            vec!["raw-sync"]
+        );
+        assert_eq!(
+            rules("use std::sync::{Arc, Condvar, Mutex};\n"),
+            vec!["raw-sync"]
+        );
+        // Arc/Once/mpsc through std::sync are fine — only the types the
+        // facade instruments are gated.
+        assert!(strict("use std::sync::{Arc, OnceLock};\n").is_empty());
+        assert!(strict("use std::sync::mpsc;\n").is_empty());
+        // The facade itself is what code should write.
+        assert!(strict("use msa_sync::{Condvar, Mutex};\n").is_empty());
+        // Test code may reach for std::sync directly.
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
+        assert!(strict(src).is_empty());
+    }
+
+    #[test]
     fn profile_matrix_matches_spec() {
         let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/comm.rs"));
         assert!(!p.thread_spawn);
         assert!(p.unwrap && !p.float_eq && !p.pub_event_field);
         assert!(p.print);
+        // msa-net routes its concurrency through the msa_sync facade and
+        // keeps weak orderings inside the audited sync cores.
+        assert!(p.raw_sync && p.ordering_audit);
+        let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/barrier.rs"));
+        assert!(!p.ordering_audit && p.raw_sync);
+        let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/thread_comm.rs"));
+        assert!(!p.ordering_audit && p.raw_sync);
+        let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/stats.rs"));
+        assert!(!p.ordering_audit && p.raw_sync);
+        // The checker crate names orderings as data and spawns real OS
+        // threads; neither concurrency rule can apply to it.
+        let p = Profile::for_crate("msa-race", Path::new("crates/msa-race/src/sched.rs"));
+        assert!(!p.ordering_audit && !p.thread_spawn && !p.raw_sync);
+        // The facade imports std::sync legitimately.
+        let p = Profile::for_crate("msa-sync", Path::new("crates/msa-sync/src/lib.rs"));
+        assert!(!p.raw_sync && p.ordering_audit);
+        // Shims: only the concurrency rules, with the pool as the audited
+        // core on that side.
+        let p = Profile::for_shim("rayon", Path::new("shims/rayon/src/pool.rs"));
+        assert!(!p.ordering_audit && p.raw_sync && !p.unwrap && !p.print);
+        let p = Profile::for_shim("rayon", Path::new("shims/rayon/src/lib.rs"));
+        assert!(p.ordering_audit && p.raw_sync);
+        let p = Profile::for_shim("crossbeam", Path::new("shims/crossbeam/src/lib.rs"));
+        assert!(p.ordering_audit && p.raw_sync);
+        let p = Profile::for_shim("rand", Path::new("shims/rand/src/lib.rs"));
+        assert!(p.ordering_audit && !p.raw_sync);
         let p = Profile::for_crate("ml", Path::new("crates/ml/src/svm.rs"));
         assert!(p.float_eq && p.thread_spawn && p.print);
         assert!(!p.alloc_in_kernel);

@@ -157,6 +157,89 @@ fn justified_warmup_alloc_in_loop_is_clean() {
 }
 
 #[test]
+fn relaxed_ordering_is_flagged() {
+    let stdout = findings_for(
+        "ordrelaxed",
+        concat!(
+            "use msa_sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub fn f(a: &AtomicUsize) -> usize {\n",
+            "    a.load(Ordering::Relaxed)\n",
+            "}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:3: ordering-audit"), "{stdout}");
+}
+
+#[test]
+fn acqrel_ordering_is_flagged() {
+    let stdout = findings_for(
+        "ordacqrel",
+        concat!(
+            "use msa_sync::atomic::{AtomicUsize, Ordering};\n",
+            "pub fn f(a: &AtomicUsize) -> usize {\n",
+            "    a.fetch_add(1, Ordering::AcqRel)\n",
+            "}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:3: ordering-audit"), "{stdout}");
+}
+
+#[test]
+fn justified_weak_ordering_is_clean() {
+    let dir = fixture_dir("ordallow");
+    let file = dir.join("fixture.rs");
+    std::fs::write(
+        &file,
+        concat!(
+            "use msa_sync::atomic::{AtomicU64, Ordering};\n",
+            "pub fn bump(c: &AtomicU64) {\n",
+            "    // lint: allow(ordering-audit) -- commutative stats counter, no data published\n",
+            "    c.fetch_add(1, Ordering::Relaxed);\n",
+            "}\n",
+        ),
+    )
+    .expect("write fixture");
+    let out = run_on(&[&file]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "unexpected findings:\n{stdout}");
+}
+
+#[test]
+fn raw_sync_import_is_flagged() {
+    let stdout = findings_for(
+        "rawsync",
+        concat!(
+            "use std::sync::atomic::{AtomicUsize, Ordering};\n",
+            "use std::sync::{Arc, Condvar, Mutex};\n",
+            "pub fn f() {}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:1: raw-sync"), "{stdout}");
+    assert!(stdout.contains("fixture.rs:2: raw-sync"), "{stdout}");
+}
+
+#[test]
+fn facade_imports_are_clean() {
+    let dir = fixture_dir("facade");
+    let file = dir.join("fixture.rs");
+    std::fs::write(
+        &file,
+        concat!(
+            "use msa_sync::atomic::{AtomicUsize, Ordering};\n",
+            "use msa_sync::{Arc, Condvar, Mutex};\n",
+            "use std::sync::{Once, OnceLock};\n",
+            "pub fn f(a: &AtomicUsize) -> usize {\n",
+            "    a.load(Ordering::Acquire)\n",
+            "}\n",
+        ),
+    )
+    .expect("write fixture");
+    let out = run_on(&[&file]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "unexpected findings:\n{stdout}");
+}
+
+#[test]
 fn unjustified_allow_does_not_suppress() {
     let stdout = findings_for(
         "badallow",

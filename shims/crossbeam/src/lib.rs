@@ -10,9 +10,9 @@
 //! buffers per message, so channel overhead is not on the critical path.
 
 pub mod channel {
+    use msa_sync::atomic::{AtomicUsize, Ordering};
+    use msa_sync::{Arc, Condvar, Mutex};
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
@@ -126,6 +126,7 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            // lint: allow(ordering-audit) -- refcount in an Arc-style clone/drop chain
             self.shared.senders.fetch_add(1, Ordering::AcqRel);
             Sender {
                 shared: Arc::clone(&self.shared),
@@ -135,6 +136,7 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            // lint: allow(ordering-audit) -- refcount in an Arc-style clone/drop chain
             self.shared.receivers.fetch_add(1, Ordering::AcqRel);
             Receiver {
                 shared: Arc::clone(&self.shared),
@@ -144,9 +146,23 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
+            // lint: allow(ordering-audit) -- refcount in an Arc-style clone/drop chain
             if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last sender: wake blocked receivers so they observe
-                // disconnection.
+                // disconnection. The notify must happen *under the queue
+                // lock*: `recv` checks `senders` (an atomic, not state
+                // under the mutex) between its pop and its wait, and an
+                // unlocked notify can fire exactly inside that window —
+                // nobody is waiting yet, the notification is dropped,
+                // and the receiver sleeps forever. Holding the lock
+                // pins the receiver on one side of the window or the
+                // other (the msa-race harness
+                // `channel_unlocked_disconnect_notify_is_found` shows
+                // the unlocked variant losing the wakeup).
+                let _guard = match self.shared.queue.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
                 self.shared.ready.notify_all();
             }
         }
@@ -154,6 +170,7 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
+            // lint: allow(ordering-audit) -- refcount in an Arc-style clone/drop chain
             self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
         }
     }

@@ -37,11 +37,11 @@
 
 #![allow(unsafe_code)]
 
+use msa_sync::atomic::{AtomicUsize, Ordering};
+use msa_sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
@@ -88,7 +88,16 @@ impl Task {
                     *slot = Some(p);
                 }
             }
-            let d = self.done.fetch_add(1, Ordering::Release) + 1;
+            // AcqRel, not Release: the caller reads every block's output
+            // after `wait_finished`, including blocks run by threads
+            // other than the last finisher. The acquire side of this RMW
+            // chains those threads' release-increments into the last
+            // finisher's clock, which the `finished` mutex then hands to
+            // the caller. With plain Release the read side is relaxed,
+            // the chain accumulates nothing, and those reads race (the
+            // `pool_release_done_counter_is_found` msa-race harness
+            // demonstrates exactly this).
+            let d = self.done.fetch_add(1, Ordering::AcqRel) + 1;
             if d == self.blocks {
                 *lock(&self.finished) = true;
                 self.finished_cv.notify_all();
