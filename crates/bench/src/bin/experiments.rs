@@ -6,9 +6,10 @@
 //! cargo run --release -p bench --bin experiments -- obs BENCH_pr3.json
 //! cargo run --release -p bench --bin experiments -- kernels BENCH_pr4.json
 //! cargo run --release -p bench --bin experiments -- comm BENCH_pr5.json
+//! cargo run --release -p bench --bin experiments -- tune TUNE_pr7.table BENCH_pr7.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm> [more ids… | output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -30,7 +31,11 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm> [more ids
   comm [--counters] collective wire counters, fused-vs-serialized
       bit-equality, overlap speedup + allreduce timing sweep
       -> BENCH_pr5.json (or given path); --counters emits only the
-      deterministic section (CI byte-compares two runs)";
+      deterministic section (CI byte-compares two runs)
+  tune measured collective autotuner grid (real executions up to 128
+      ranks, priced virtual clocks) -> TUNE_pr7.table + BENCH_pr7.json
+      (or the two given paths); fully deterministic, CI byte-compares
+      two runs of both files";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
 /// to `path` and fails loudly if the registry came back empty.
@@ -104,6 +109,27 @@ fn run_comm(rest: &[String]) -> i32 {
     0
 }
 
+/// Runs the `tune` subcommand (PR 7): executes the autotuner grid and
+/// writes the decision table (first path, default `TUNE_pr7.table`) and
+/// the grid report (second path, default `BENCH_pr7.json`). Both files
+/// are deterministic; `MSA_BENCH_FAST=1` swaps in the smoke grid.
+fn run_tune(rest: &[String]) -> i32 {
+    let table_path = rest.first().map_or("TUNE_pr7.table", String::as_str);
+    let json_path = rest.get(1).map_or("BENCH_pr7.json", String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (table, json) = bench::tune::tune_report(fast);
+    for (path, body) in [(table_path, &table), (json_path, &json)] {
+        if let Err(e) = std::fs::write(path, body) {
+            // lint: allow(print) -- CLI diagnostic on stderr
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote decision table to {table_path} and grid report to {json_path}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -120,6 +146,9 @@ fn main() {
     }
     if args[0] == "comm" {
         std::process::exit(run_comm(&args[1..]));
+    }
+    if args[0] == "tune" {
+        std::process::exit(run_tune(&args[1..]));
     }
     for id in &args {
         // lint: allow(print) -- CLI report output

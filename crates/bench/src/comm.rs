@@ -53,7 +53,20 @@ struct WireRow {
 /// Runs one collective on `p` ranks and returns the wire totals summed
 /// over all ranks (per-rank numbers differ by position in the schedule;
 /// the sum is the deterministic cross-rank invariant).
+///
+/// Each collective scopes its traffic under its own [`CollectiveOp`], so
+/// the row must read the matching counter — PR 5 read `Allreduce` for
+/// every row, which made the recursive-doubling row a phantom zero (its
+/// traffic sat under `RecursiveDoubling`). A zero wire row at p > 1 is
+/// a measurement bug by definition, so it panics rather than lands in
+/// the report.
 fn wire_row(collective: &'static str, ranks: usize, len: usize) -> WireRow {
+    let op = match collective {
+        "ring_allreduce" => CollectiveOp::Allreduce,
+        "pipeline_allreduce" => CollectiveOp::Pipeline,
+        "recursive_doubling_allreduce" => CollectiveOp::RecursiveDoubling,
+        other => panic!("unknown collective {other:?}"),
+    };
     let per_rank = ThreadComm::run(ranks, move |c| {
         let mut buf: Vec<f32> = (0..len).map(|i| (c.rank() * len + i) as f32).collect();
         match collective {
@@ -61,15 +74,16 @@ fn wire_row(collective: &'static str, ranks: usize, len: usize) -> WireRow {
             "pipeline_allreduce" => collectives::pipeline_allreduce(c, &mut buf),
             _ => collectives::recursive_doubling_allreduce(c, &mut buf),
         }
-        let t = c
-            .stats()
-            .map(|s| s.export().op(CollectiveOp::Allreduce))
-            .unwrap_or_default();
+        let t = c.stats().map(|s| s.export().op(op)).unwrap_or_default();
         (t.msgs_sent, t.bytes_sent)
     });
     let (msgs_total, bytes_total) = per_rank
         .iter()
         .fold((0, 0), |(m, b), &(mm, bb)| (m + mm, b + bb));
+    assert!(
+        ranks == 1 || msgs_total > 0,
+        "phantom-zero wire row: {collective} at p={ranks} recorded no traffic under {op:?}"
+    );
     WireRow {
         collective,
         ranks,

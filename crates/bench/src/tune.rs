@@ -1,0 +1,292 @@
+//! PR-7 autotuner grid report (`experiments tune` → `BENCH_pr7.json` +
+//! `TUNE_pr7.table`).
+//!
+//! Runs the [`msa_net::tune`] grid — every allreduce candidate executed
+//! **for real** per (ranks, bytes) cell, including the paper's 96- and
+//! 128-rank points — and emits two artifacts:
+//!
+//! * `TUNE_pr7.table` — the distilled [`DecisionTable`] in the
+//!   byte-stable `msa-tune-v1` format (DESIGN.md §13);
+//! * `BENCH_pr7.json` — every cell with every candidate's corrected
+//!   wire counters (`msgs_total`/`bytes_total`, never the phantom zeros
+//!   PR 5 shipped) and priced-clock critical path, the per-cell
+//!   `winner_is_argmin` flag, a tuned-dispatch trainer section (fused ≡
+//!   serialized bit-equality under [`ExchangeDispatch::Tuned`]) and the
+//!   recalibrated [`ScalingModel`] comm times at 96/128 GPUs.
+//!
+//! Everything in both artifacts is read off virtual clocks and message
+//! counters — no wall-clock anywhere — so two runs of the subcommand
+//! must produce byte-identical files; CI `cmp`s them.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::kernels::bits_hash;
+use data::Dataset;
+use distrib::{ExchangeDispatch, FusionConfig, ScalingModel, StepCost, TrainConfig, Trainer};
+use msa_core::hw::catalog;
+use msa_net::tune::{Cell, TuneGrid, TuneReport};
+use msa_net::DecisionTable;
+use nn::{Dense, Optimizer, Relu, Sequential, Sgd, SoftmaxCrossEntropy};
+use tensor::{Rng, Tensor};
+
+/// Pool width pinned like the comm report: the tuned trainer section
+/// schedules overlapped buckets on this pool.
+const POOL_THREADS: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Grid section.
+// ---------------------------------------------------------------------------
+
+fn cell_json(cell: &Cell, table: &DecisionTable) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "    {{\"ranks\": {}, \"bytes\": {}, \"candidates\": [",
+        cell.ranks, cell.bytes
+    );
+    for (i, m) in cell.measurements.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{\"algo\": \"{}\", \"measured_ps\": {}, \"modeled_ps\": {}, \"msgs_total\": {}, \"bytes_total\": {}}}{}",
+            m.algo.name(),
+            m.measured_ps,
+            m.modeled_ps,
+            m.msgs_total,
+            m.bytes_total,
+            if i + 1 < cell.measurements.len() { "," } else { "" }
+        );
+    }
+    // The table's pick for this exact cell must be the measured argmin —
+    // the acceptance invariant, recomputed here from the raw rows.
+    let argmin_ps = cell
+        .measurements
+        .iter()
+        .map(|m| m.measured_ps)
+        .min()
+        .unwrap_or(0);
+    let picked = table.entry_for(cell.ranks, cell.bytes);
+    let winner_is_argmin = picked.ranks == cell.ranks
+        && picked.bytes == cell.bytes
+        && picked.measured_ps == argmin_ps
+        && picked.algo == cell.winner().algo;
+    let zero_rows = cell
+        .measurements
+        .iter()
+        .filter(|m| cell.ranks > 1 && m.msgs_total == 0)
+        .count();
+    let _ = write!(
+        s,
+        "    ], \"winner\": \"{}\", \"fallback\": \"{}\", \"winner_is_argmin\": {}, \"zero_wire_rows\": {}}}",
+        cell.winner().algo.name(),
+        cell.best_software().algo.name(),
+        winner_is_argmin,
+        zero_rows
+    );
+    s
+}
+
+fn grid_json(report: &TuneReport, table: &DecisionTable) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  \"grid\": {{\"inter_latency_us\": {}, \"inter_bw_gbs\": {}, \"ranks_per_node\": {}, \"cells\": {}}},",
+        report.link.latency_us,
+        report.link.bw_gbs,
+        report.topo.ranks_per_node,
+        report.cells.len()
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        s.push_str(&cell_json(cell, table));
+        s.push_str(if i + 1 < report.cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let all_argmin = report.cells.iter().all(|c| {
+        let e = table.entry_for(c.ranks, c.bytes);
+        e.algo == c.winner().algo && e.measured_ps == c.winner().measured_ps
+    });
+    let zero_rows: usize = report
+        .cells
+        .iter()
+        .map(|c| {
+            c.measurements
+                .iter()
+                .filter(|m| c.ranks > 1 && m.msgs_total == 0)
+                .count()
+        })
+        .sum();
+    let max_ranks = report.cells.iter().map(|c| c.ranks).max().unwrap_or(0);
+    let _ = writeln!(
+        s,
+        "  \"all_winners_are_argmin\": {all_argmin},\n  \"zero_wire_rows\": {zero_rows},\n  \"max_ranks_executed\": {max_ranks},"
+    );
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Tuned-dispatch trainer section.
+// ---------------------------------------------------------------------------
+
+fn toy_dataset(n: usize, dim: usize, classes: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::seed(seed);
+    let mut x = Vec::with_capacity(n * dim);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.below(classes);
+        let mut row: Vec<f32> = (0..dim).map(|_| rng.normal() * 0.3).collect();
+        row[c] += 2.0;
+        x.extend(row);
+        y.push(c as f32);
+    }
+    Dataset {
+        x: Tensor::from_vec(x, &[n, dim]),
+        y: Tensor::from_vec(y, &[n]),
+    }
+}
+
+fn opt(lr: f32) -> Box<dyn Optimizer> {
+    Box::new(Sgd::new(lr, 0.9, 1e-4))
+}
+
+struct TrainSection {
+    ranks: usize,
+    bucket_bytes: usize,
+    hash_serialized: u64,
+    hash_fused: u64,
+    bit_equal: bool,
+}
+
+/// Trains twice under tuned dispatch — serialized and fused at one fixed
+/// `bucket_bytes` — and checks the per-partition bit-equality contract:
+/// selection depends only on each bucket's byte length, so the fused and
+/// serialized schedules of the *same* partition reduce every bucket with
+/// the same measured winner.
+fn bench_tuned_trainer(table: &Arc<DecisionTable>, ranks: usize) -> TrainSection {
+    let (dim, hidden, classes) = (16, 32, 4);
+    let ds = toy_dataset(ranks * 8, dim, classes, 71);
+    let cfg = TrainConfig {
+        workers: ranks,
+        epochs: 2,
+        batch_per_worker: 4,
+        base_lr: 0.05,
+        lr_scaling: true,
+        warmup_epochs: 1,
+        seed: 17,
+        checkpoint: None,
+    };
+    let model = move |seed: u64| {
+        let mut rng = Rng::seed(seed);
+        Sequential::new()
+            .push(Dense::new(dim, hidden, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(hidden, classes, &mut rng))
+    };
+    let bucket_bytes = 1024usize;
+    let run = |fusion: FusionConfig| {
+        Trainer::new(cfg.clone())
+            .cost(StepCost::default())
+            .fusion(fusion)
+            .dispatch(ExchangeDispatch::Tuned(Arc::clone(table)))
+            .run(&ds, model, opt, SoftmaxCrossEntropy)
+            // lint: allow(unwrap) -- no resume snapshot is armed, so run() cannot fail
+            .expect("no snapshot to validate")
+            .completed()
+    };
+    let serial = run(FusionConfig::unfused());
+    let fused = run(FusionConfig::fused(bucket_bytes));
+    let bit_equal = serial.final_params.len() == fused.final_params.len()
+        && serial
+            .final_params
+            .iter()
+            .zip(&fused.final_params)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    TrainSection {
+        ranks,
+        bucket_bytes,
+        hash_serialized: bits_hash(&serial.final_params),
+        hash_fused: bits_hash(&fused.final_params),
+        bit_equal,
+    }
+}
+
+fn trainer_json(t: &TrainSection) -> String {
+    format!(
+        "  \"trainer\": {{\"ranks\": {}, \"bucket_bytes\": {}, \"hash_serialized\": \"{:016x}\", \"hash_fused\": \"{:016x}\", \"bit_equal_tuned_fused_vs_serialized\": {}}},\n",
+        t.ranks, t.bucket_bytes, t.hash_serialized, t.hash_fused, t.bit_equal
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Recalibrated scaling-model section.
+// ---------------------------------------------------------------------------
+
+fn perf_json(table: &Arc<DecisionTable>, gpu_counts: &[usize]) -> String {
+    let base = ScalingModel::resnet50(catalog::v100(), table.inter());
+    let tuned = base.clone().tuned(Arc::clone(table));
+    let mut s = String::from("  \"perf\": [\n");
+    for (i, &g) in gpu_counts.iter().enumerate() {
+        let bytes = base.grad_bytes as usize;
+        let _ = writeln!(
+            s,
+            "    {{\"gpus\": {}, \"algo\": \"{}\", \"untuned_comm_ps\": {}, \"tuned_comm_ps\": {}, \"calibration_milli\": {}}}{}",
+            g,
+            table.select(g, bytes).name(),
+            msa_obs::simtime_to_ps(base.comm_time(g)),
+            msa_obs::simtime_to_ps(tuned.comm_time(g)),
+            (table.calibration(g, bytes) * 1000.0).round() as u64,
+            if i + 1 < gpu_counts.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Entry point.
+// ---------------------------------------------------------------------------
+
+/// The full tuner report. Returns `(table_text, json)`: the
+/// `msa-tune-v1` decision table and the grid JSON. Both are fully
+/// deterministic — CI runs the subcommand twice and byte-compares both
+/// files. `fast` swaps the paper grid for the smoke grid (unit tests).
+pub fn tune_report(fast: bool) -> (String, String) {
+    let _ = rayon::init_with_threads(POOL_THREADS);
+    let grid = if fast { TuneGrid::smoke() } else { TuneGrid::paper() };
+    let report = grid.run();
+    let table = Arc::new(report.table());
+    let table_text = table.to_table_string();
+
+    let train = bench_tuned_trainer(&table, if fast { 4 } else { 8 });
+    let gpu_counts: &[usize] = if fast { &[4, 8] } else { &[8, 32, 96, 128] };
+
+    let mut json = String::from("{\n");
+    json.push_str(&grid_json(&report, &table));
+    json.push_str(&trainer_json(&train));
+    json.push_str(&perf_json(&table, gpu_counts));
+    json.push('}');
+    (table_text, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_report_is_deterministic_and_contract_flags_hold() {
+        let (t1, j1) = tune_report(true);
+        let (t2, j2) = tune_report(true);
+        assert_eq!(t1, t2, "decision tables differ between runs");
+        assert_eq!(j1, j2, "grid reports differ between runs");
+        assert!(j1.contains("\"all_winners_are_argmin\": true"), "{j1}");
+        assert!(j1.contains("\"zero_wire_rows\": 0,"), "{j1}");
+        assert!(!j1.contains("\"winner_is_argmin\": false"), "{j1}");
+        assert!(!j1.contains("\"msgs_total\": 0"), "{j1}");
+        assert!(
+            j1.contains("\"bit_equal_tuned_fused_vs_serialized\": true"),
+            "{j1}"
+        );
+        let parsed = DecisionTable::parse(&t1).expect("emitted table must parse");
+        assert_eq!(parsed.to_table_string(), t1);
+    }
+}

@@ -25,7 +25,53 @@
 //!
 //! [`Trainer`]: crate::trainer::Trainer
 
+use msa_net::tune::{tuned_allreduce_with, DecisionTable};
+use msa_net::{collectives, Arena, PointToPoint};
 use nn::Layer;
+use std::sync::Arc;
+
+/// Which allreduce each fusion bucket dispatches through.
+///
+/// The default keeps the PR 5 contract: every bucket goes through
+/// `pipeline_allreduce`, whose fold order is partition-invariant, so the
+/// result is bit-identical for *every* `bucket_bytes`. `Tuned` trades
+/// that cross-partition guarantee for measured speed: each bucket runs
+/// the decision table's winner for its (ranks, bytes). Selection depends
+/// only on the bucket's byte length, so the fused and serialized paths
+/// of the *same* partition still pick identical algorithms bucket for
+/// bucket — fused ≡ serialized stays bit-exact per partition; only
+/// equality *across different* `bucket_bytes` is given up (different
+/// algorithms fold in different orders).
+#[derive(Debug, Clone, Default)]
+pub enum ExchangeDispatch {
+    /// Partition-invariant pipeline chain for every bucket (PR 5
+    /// behaviour, bit-identical across bucket sizes).
+    #[default]
+    Pipeline,
+    /// Per-bucket measured-winner dispatch through a
+    /// [`msa_net::tune::DecisionTable`].
+    Tuned(Arc<DecisionTable>),
+}
+
+impl ExchangeDispatch {
+    /// Wraps a decision table for tuned dispatch.
+    pub fn tuned(table: DecisionTable) -> Self {
+        ExchangeDispatch::Tuned(Arc::new(table))
+    }
+
+    /// Allreduces one bucket segment through the configured path.
+    pub fn reduce_bucket<C: PointToPoint + ?Sized>(
+        &self,
+        c: &C,
+        seg: &mut [f32],
+        scratch: &mut Arena,
+    ) {
+        match self {
+            ExchangeDispatch::Pipeline => collectives::pipeline_allreduce_with(c, seg, scratch),
+            ExchangeDispatch::Tuned(table) => tuned_allreduce_with(c, seg, scratch, table),
+        }
+    }
+}
 
 /// How the trainer exchanges gradients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

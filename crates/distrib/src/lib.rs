@@ -28,7 +28,7 @@ pub mod trainer;
 
 pub use checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
 pub use compress::{sparse_allreduce_mean, TopKCompressor};
-pub use fusion::{FusionBuffer, FusionConfig};
+pub use fusion::{ExchangeDispatch, FusionBuffer, FusionConfig};
 pub use modular::{MlCampaign, WorkflowCost};
 pub use perf::{ScalingModel, ScalingPoint};
 pub use trainer::{

@@ -10,7 +10,8 @@
 
 use msa_core::hw::GpuSpec;
 use msa_core::SimTime;
-use msa_net::{CollectiveAlgo, LinkParams};
+use msa_net::{CollectiveAlgo, DecisionTable, LinkParams};
+use std::sync::Arc;
 
 /// Fraction of peak tensor throughput a real training step sustains.
 /// Calibrated so a V100 runs ResNet-50 at ≈1600 img/s (mixed precision),
@@ -34,8 +35,14 @@ pub struct ScalingModel {
     pub dataset_samples: u64,
     /// Per-GPU mini-batch (weak scaling, the Horovod convention).
     pub batch_per_gpu: u64,
-    /// Allreduce algorithm in use.
+    /// Allreduce algorithm in use (when no decision table is attached).
     pub algo: CollectiveAlgo,
+    /// Measured autotuner table ([`msa_net::tune`]): when present, the
+    /// comm model selects the table's per-(ranks, bytes) winner instead
+    /// of the fixed `algo`, and multiplies the analytic prediction by the
+    /// nearest cell's measured/modeled calibration ratio — recalibrating
+    /// the scaling curve against real executed traffic.
+    pub tuning: Option<Arc<DecisionTable>>,
 }
 
 /// One point of a scaling curve.
@@ -61,7 +68,15 @@ impl ScalingModel {
             dataset_samples: 269_695,
             batch_per_gpu: 64,
             algo: CollectiveAlgo::Ring,
+            tuning: None,
         }
+    }
+
+    /// Attaches a measured decision table (builder style); see the
+    /// `tuning` field.
+    pub fn tuned(mut self, table: Arc<DecisionTable>) -> Self {
+        self.tuning = Some(table);
+        self
     }
 
     /// Compute time of one local mini-batch on one GPU.
@@ -72,9 +87,20 @@ impl ScalingModel {
         )
     }
 
-    /// Communication time of the gradient allreduce over `gpus` ranks.
+    /// Communication time of the gradient allreduce over `gpus` ranks:
+    /// the fixed `algo`'s α–β prediction, or — with a decision table
+    /// attached — the measured winner's prediction on this model's link,
+    /// scaled by the table's measured/modeled calibration.
     pub fn comm_time(&self, gpus: usize) -> SimTime {
-        self.algo.allreduce_time(gpus, self.grad_bytes, self.link)
+        match &self.tuning {
+            None => self.algo.allreduce_time(gpus, self.grad_bytes, self.link),
+            Some(table) => {
+                let bytes = self.grad_bytes as usize;
+                let pick = table.select(gpus, bytes);
+                pick.model_time(gpus, self.grad_bytes, self.link, table.topo())
+                    * table.calibration(gpus, bytes)
+            }
+        }
     }
 
     /// One synchronous data-parallel step on `gpus` GPUs: compute plus
@@ -200,6 +226,32 @@ mod tests {
             "A100/V100 tensor ratio should be ≈2.5: {ratio}"
         );
         assert!(a.inference_throughput() > 2.0 * v.inference_throughput());
+    }
+
+    #[test]
+    fn tuned_model_dispatches_and_recalibrates_comm_time() {
+        // Synthetic table: one 96-rank cell won by the hierarchical
+        // schedule, measured at half its model — the tuned comm time must
+        // be that algorithm's prediction on *this* model's link, halved.
+        let text = "msa-tune-v1\n\
+                    inter 1.1 12.5\n\
+                    intra 4 0.3 300\n\
+                    cell ranks=96 bytes=102400000 algo=hierarchical/4 fallback=ring \
+                    measured_ps=500000 modeled_ps=1000000\n";
+        let table = DecisionTable::parse(text).expect("synthetic table parses");
+        let m = v100_model().tuned(Arc::new(table.clone()));
+        let want = msa_net::tune::TunedAlgo::Hierarchical { ranks_per_node: 4 }.model_time(
+            96,
+            m.grad_bytes,
+            m.link,
+            table.topo(),
+        ) * 0.5;
+        assert_eq!(m.comm_time(96), want);
+        assert!(m.comm_time(96) < v100_model().comm_time(96));
+        // At a size the hierarchical pick cannot run, the recorded
+        // software fallback is priced instead.
+        let fallback = CollectiveAlgo::Ring.allreduce_time(97, m.grad_bytes, m.link) * 0.5;
+        assert_eq!(m.comm_time(97), fallback);
     }
 
     #[test]

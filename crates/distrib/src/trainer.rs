@@ -57,11 +57,11 @@
 //! **bit-identical** to the run that was never killed.
 
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
-use crate::fusion::{FusionBuffer, FusionConfig};
+use crate::fusion::{ExchangeDispatch, FusionBuffer, FusionConfig};
 use data::Dataset;
 use msa_core::SimTime;
 use msa_net::{
-    collectives, CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled,
+    CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled,
     ThreadComm,
 };
 use msa_obs::{key, MetricsRegistry, Recorder, VirtualClock};
@@ -336,6 +336,7 @@ pub struct Trainer {
     recorder: Option<Arc<MetricsRegistry>>,
     cost: StepCost,
     fusion: FusionConfig,
+    dispatch: ExchangeDispatch,
     tag: Option<String>,
 }
 
@@ -348,6 +349,7 @@ impl std::fmt::Debug for Trainer {
             .field("recorder", &self.recorder.is_some())
             .field("cost", &self.cost)
             .field("fusion", &self.fusion)
+            .field("dispatch", &self.dispatch)
             .field("tag", &self.tag)
             .finish()
     }
@@ -364,6 +366,7 @@ impl Trainer {
             recorder: None,
             cost: StepCost::default(),
             fusion: FusionConfig::default(),
+            dispatch: ExchangeDispatch::default(),
             tag: None,
         }
     }
@@ -415,6 +418,18 @@ impl Trainer {
         self
     }
 
+    /// Selects which allreduce each fusion bucket runs: the default
+    /// partition-invariant pipeline, or measured-winner dispatch through
+    /// an autotuner [`msa_net::tune::DecisionTable`]
+    /// ([`ExchangeDispatch::Tuned`]). Tuned dispatch keeps fused ≡
+    /// serialized bit-exact at any fixed `bucket_bytes` (selection
+    /// depends only on each bucket's byte length), but results may
+    /// differ *across* bucket sizes — see [`ExchangeDispatch`].
+    pub fn dispatch(mut self, dispatch: ExchangeDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Labels every metric this run records with `run=<tag>`, so several
     /// runs can share one registry without colliding.
     pub fn tag(mut self, tag: impl Into<String>) -> Self {
@@ -453,6 +468,7 @@ impl Trainer {
             resume.as_ref(),
             &self.cost,
             self.fusion,
+            &self.dispatch,
             self.tag.as_deref(),
             self.recorder.as_deref(),
         ))
@@ -603,6 +619,7 @@ fn run_engine<M, O, L>(
     resume: Option<&ResumeState>,
     cost: &StepCost,
     fusion: FusionConfig,
+    dispatch: &ExchangeDispatch,
     tag: Option<&str>,
     recorder: Option<&MetricsRegistry>,
 ) -> TrainOutcome
@@ -617,7 +634,9 @@ where
 
     let opts = CommOptions::new().fault_opt(fault).link(cost.link);
     let results = ThreadComm::run_with(cfg.workers, &opts, |comm| {
-        train_rank(comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, tag)
+        train_rank(
+            comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, dispatch, tag,
+        )
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
@@ -655,6 +674,7 @@ fn train_rank<M, O, L>(
     resume: Option<&ResumeState>,
     cost: &StepCost,
     fusion_cfg: FusionConfig,
+    dispatch: &ExchangeDispatch,
     tag: Option<&str>,
 ) -> RankRun
 where
@@ -791,20 +811,30 @@ where
             // fusion bucket's allreduce launches on a pool lane as soon
             // as its layers finish backward; otherwise the exchange runs
             // serialized after backward. Both paths reduce every bucket
-            // with the partition-invariant pipeline schedule, so the
-            // averaged gradient bits never depend on `bucket_bytes`.
+            // through the same [`ExchangeDispatch`], so fused and
+            // serialized schedules of one partition agree bit-for-bit;
+            // the default pipeline dispatch is additionally
+            // partition-invariant (bits never depend on `bucket_bytes`).
             model.zero_grad();
             let pred = model.forward(&bx, true);
             let (l, grad) = loss.compute(&pred, &by);
             let samples = bx.shape()[0];
             if fusion_cfg.overlap && !fusion.buckets().is_empty() {
-                exchange_overlapped(comm, &mut model, &grad, &mut fusion, &mut flat, &mut comm_arena);
+                exchange_overlapped(
+                    comm,
+                    &mut model,
+                    &grad,
+                    &mut fusion,
+                    &mut flat,
+                    &mut comm_arena,
+                    dispatch,
+                );
             } else {
                 model.backward(&grad);
                 nn::param::copy_grads_into(&model.params(), &mut flat);
                 for b in fusion.buckets().iter().rev() {
                     let seg = &mut flat[b.start..b.end];
-                    collectives::pipeline_allreduce_with(comm, seg, &mut comm_arena);
+                    dispatch.reduce_bucket(comm, seg, &mut comm_arena);
                     for x in seg.iter_mut() {
                         *x /= size as f32;
                     }
@@ -960,8 +990,9 @@ where
 
 /// Fused, overlapped gradient exchange — the executed half of the
 /// Horovod schedule. Backward runs on the caller lane; a dedicated
-/// thread-pool lane drains completed buckets and pipeline-allreduces
-/// each while later (earlier-layer) gradients are still being computed.
+/// thread-pool lane drains completed buckets and allreduces each
+/// (through `dispatch`) while later (earlier-layer) gradients are
+/// still being computed.
 ///
 /// Deadlock-freedom: `rayon::join` always starts the first closure on
 /// the caller, so the backward producer runs even when the pool is
@@ -977,6 +1008,7 @@ fn exchange_overlapped(
     fusion: &mut FusionBuffer,
     flat: &mut [f32],
     scratch: &mut msa_net::Arena,
+    dispatch: &ExchangeDispatch,
 ) {
     use msa_net::PointToPoint as _;
     let n = comm.size() as f32;
@@ -997,7 +1029,7 @@ fn exchange_overlapped(
         },
         || {
             while let Ok((bidx, mut slab)) = rx.recv() {
-                collectives::pipeline_allreduce_with(comm, &mut slab, scratch);
+                dispatch.reduce_bucket(comm, &mut slab, scratch);
                 for x in slab.iter_mut() {
                     *x /= n;
                 }
@@ -1592,7 +1624,7 @@ mod tests {
                 Some(report.steps_per_rank as u64)
             );
             assert!(
-                snap.get(&format!("net.comm.bytes_sent{{op=allreduce,rank={rank},run=t}}"))
+                snap.get(&format!("net.comm.bytes_sent{{op=pipeline,rank={rank},run=t}}"))
                     .and_then(|v| v.as_counter())
                     .unwrap_or(0)
                     > 0,

@@ -210,7 +210,7 @@ pub fn pipeline_allreduce_with<C: PointToPoint + ?Sized>(
     if p == 1 || buf.is_empty() {
         return;
     }
-    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Allreduce));
+    let _scope = c.stats().map(|s| s.scope(CollectiveOp::Pipeline));
     let rank = c.rank();
 
     // Phase 1 — reduce chain 0 → 1 → … → p−1: the running sum arrives

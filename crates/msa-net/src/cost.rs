@@ -62,6 +62,50 @@ impl LinkParams {
     }
 }
 
+/// Node-level topology: ranks are packed into nodes of `ranks_per_node`
+/// consecutive ranks (the CM/ESB module layout — e.g. 4 GPUs per JUWELS
+/// Booster node), and traffic between two ranks of the same node travels
+/// the `intra` link (NVLink) instead of the fabric.
+///
+/// Handed to `ThreadComm` via `CommOptions::topo`, this makes both the
+/// α–β wait pricing and the virtual-time measurement per-peer aware,
+/// which is what lets `hierarchical_allreduce` actually *win* its cells
+/// in the autotuner grid: its intra-node phases get NVLink pricing while
+/// flat algorithms pay the fabric for every hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Topology {
+    /// Consecutive ranks per node; node id of rank r is `r / ranks_per_node`.
+    pub ranks_per_node: usize,
+    /// Link used between ranks of the same node.
+    pub intra: LinkParams,
+}
+
+impl Topology {
+    /// ESB-style nodes of `ranks_per_node` GPUs bridged by NVLink 3.
+    pub fn esb(ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node >= 1);
+        Topology {
+            ranks_per_node,
+            intra: LinkParams::nvlink3(),
+        }
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        a / self.ranks_per_node == b / self.ranks_per_node
+    }
+
+    /// The link a message from `from` to `to` travels, given the fabric
+    /// link `inter` used between nodes.
+    pub fn link_between(&self, from: usize, to: usize, inter: LinkParams) -> LinkParams {
+        if self.same_node(from, to) {
+            self.intra
+        } else {
+            inter
+        }
+    }
+}
+
 /// Which allreduce algorithm to price.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveAlgo {
@@ -71,6 +115,11 @@ pub enum CollectiveAlgo {
     RecursiveDoubling,
     /// Reduce + broadcast over binomial trees: 2⌈log₂ p⌉ steps.
     BinomialTree,
+    /// Chunked ring pipeline ([`crate::collectives::pipeline_allreduce`]):
+    /// 2(p−1) full-message hops along a chain, overlapped across chunks.
+    /// Critical path 2(p−1)(α + m/β) — latency-heavy at large p, but the
+    /// partition-invariant fold order is what bucket fusion needs.
+    Pipeline,
     /// FPGA Global Collective Engine: the reduction happens inside the
     /// fabric in one pipelined traversal — one injection, a per-hop
     /// pipeline delay, one ejection.
@@ -79,12 +128,24 @@ pub enum CollectiveAlgo {
 
 impl CollectiveAlgo {
     /// All algorithms, for sweep-style benches.
-    pub fn all() -> [CollectiveAlgo; 4] {
+    pub fn all() -> [CollectiveAlgo; 5] {
         [
             CollectiveAlgo::Ring,
             CollectiveAlgo::RecursiveDoubling,
             CollectiveAlgo::BinomialTree,
+            CollectiveAlgo::Pipeline,
             CollectiveAlgo::GceOffload,
+        ]
+    }
+
+    /// The software algorithms (everything but the FPGA offload), in the
+    /// fixed preference order used to break exact ties.
+    pub fn software() -> [CollectiveAlgo; 4] {
+        [
+            CollectiveAlgo::Ring,
+            CollectiveAlgo::RecursiveDoubling,
+            CollectiveAlgo::BinomialTree,
+            CollectiveAlgo::Pipeline,
         ]
     }
 
@@ -105,6 +166,10 @@ impl CollectiveAlgo {
             }
             CollectiveAlgo::RecursiveDoubling => logp * (alpha + bytes / beta),
             CollectiveAlgo::BinomialTree => 2.0 * logp * (alpha + bytes / beta),
+            CollectiveAlgo::Pipeline => {
+                // Reduce chain + broadcast chain, full message per hop.
+                2.0 * (p as f64 - 1.0) * (alpha + bytes / beta)
+            }
             CollectiveAlgo::GceOffload => {
                 // Inject once, reduce inside the fabric's switch tree
                 // (depth log₂ p, ~100 ns of FPGA ALU pipeline per stage),
@@ -117,16 +182,22 @@ impl CollectiveAlgo {
     }
 
     /// The best *software* algorithm for the given size (what an MPI
-    /// implementation's heuristic would pick): recursive doubling for
-    /// small messages, ring for large.
+    /// implementation's heuristic would pick): the modeled argmin over
+    /// every software candidate — recursive doubling ends up winning
+    /// small messages, ring large ones. Exact ties go to the earlier
+    /// entry of [`CollectiveAlgo::software`], so the answer is
+    /// deterministic.
     pub fn best_software(p: usize, bytes: f64, link: LinkParams) -> CollectiveAlgo {
-        let ring = CollectiveAlgo::Ring.allreduce_time(p, bytes, link);
-        let rd = CollectiveAlgo::RecursiveDoubling.allreduce_time(p, bytes, link);
-        if rd <= ring {
-            CollectiveAlgo::RecursiveDoubling
-        } else {
-            CollectiveAlgo::Ring
+        let mut best = CollectiveAlgo::Ring;
+        let mut best_t = best.allreduce_time(p, bytes, link);
+        for algo in CollectiveAlgo::software().into_iter().skip(1) {
+            let t = algo.allreduce_time(p, bytes, link);
+            if t < best_t {
+                best = algo;
+                best_t = t;
+            }
         }
+        best
     }
 }
 

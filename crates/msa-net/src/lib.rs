@@ -22,12 +22,14 @@ pub mod hierarchical;
 pub mod scratch;
 pub mod stats;
 pub mod thread_comm;
+pub mod tune;
 
 pub use barrier::SenseBarrier;
 pub use scratch::Arena;
 pub use comm::{Communicator, PointToPoint};
 pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};
-pub use cost::{CollectiveAlgo, LinkParams};
+pub use cost::{CollectiveAlgo, LinkParams, Topology};
 pub use fabric::{simulate as simulate_fabric, FatTree, Flow, FlowResult};
 pub use stats::{CollectiveOp, CommStats, CommStatsSnapshot, OpTotals};
 pub use thread_comm::{CommOptions, FaultPlan, RankKilled, ThreadComm};
+pub use tune::{tuned_allreduce, tuned_allreduce_with, DecisionTable, TuneGrid, TunedAlgo};

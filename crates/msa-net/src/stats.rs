@@ -37,10 +37,13 @@ pub enum CollectiveOp {
     Allgather,
     /// Dissemination barrier.
     Barrier,
+    /// Pipelined chunked allreduce
+    /// ([`crate::collectives::pipeline_allreduce`]).
+    Pipeline,
 }
 
 /// Number of [`CollectiveOp`] variants.
-pub const OP_COUNT: usize = 7;
+pub const OP_COUNT: usize = 8;
 
 impl CollectiveOp {
     /// Every op, index-ordered (see [`CollectiveOp::index`]).
@@ -52,6 +55,7 @@ impl CollectiveOp {
         CollectiveOp::Reduce,
         CollectiveOp::Allgather,
         CollectiveOp::Barrier,
+        CollectiveOp::Pipeline,
     ];
 
     /// Stable slot index of this op.
@@ -64,6 +68,7 @@ impl CollectiveOp {
             CollectiveOp::Reduce => 4,
             CollectiveOp::Allgather => 5,
             CollectiveOp::Barrier => 6,
+            CollectiveOp::Pipeline => 7,
         }
     }
 
@@ -77,6 +82,7 @@ impl CollectiveOp {
             CollectiveOp::Reduce => "reduce",
             CollectiveOp::Allgather => "allgather",
             CollectiveOp::Barrier => "barrier",
+            CollectiveOp::Pipeline => "pipeline",
         }
     }
 }
@@ -103,6 +109,7 @@ pub struct CommStats {
     ops: [OpCounters; OP_COUNT],
     current: AtomicU8,
     link: LinkParams,
+    vtime_ps: AtomicU64,
 }
 
 impl CommStats {
@@ -112,6 +119,7 @@ impl CommStats {
             ops: Default::default(),
             current: AtomicU8::new(CollectiveOp::P2p.index() as u8),
             link,
+            vtime_ps: AtomicU64::new(0),
         }
     }
 
@@ -139,13 +147,41 @@ impl CommStats {
     }
 
     /// Records one inbound message of `bytes` payload bytes, charging the
-    /// modeled α–β transfer time as wait.
+    /// modeled α–β transfer time as wait and advancing this endpoint's
+    /// virtual clock by the same price from its current value.
     pub fn on_recv(&self, bytes: usize) {
+        let now = self.vtime_ps.load(Ordering::Relaxed);
+        self.on_recv_priced(bytes, self.link, now);
+    }
+
+    /// Records one inbound message priced on an explicit per-peer `link`,
+    /// stamped with the *sender's* virtual send time.
+    ///
+    /// This is the discrete-event half of the measured autotuner
+    /// ([`crate::tune`]): the message is modeled as arriving at
+    /// `sent_at_ps + p2p(bytes)`, and the receiver's clock jumps to
+    /// `max(current, arrival)` — a Lamport clock priced in picoseconds.
+    /// Because every stamp is derived from the matching send on a FIFO
+    /// channel, the resulting per-endpoint `vtime_ps` is the critical-path
+    /// time of the schedule the collective actually executed, independent
+    /// of host scheduling.
+    pub fn on_recv_priced(&self, bytes: usize, link: LinkParams, sent_at_ps: u64) {
         let slot = self.slot();
         slot.msgs_recv.fetch_add(1, Ordering::Relaxed);
         slot.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
-        let wait = msa_obs::simtime_to_ps(self.link.p2p(bytes as f64));
-        slot.wait_ps.fetch_add(wait, Ordering::Relaxed);
+        let cost = msa_obs::simtime_to_ps(link.p2p(bytes as f64));
+        slot.wait_ps.fetch_add(cost, Ordering::Relaxed);
+        self.vtime_ps
+            .fetch_max(sent_at_ps.saturating_add(cost), Ordering::Relaxed);
+    }
+
+    /// Current virtual clock of this endpoint, integer picoseconds.
+    ///
+    /// Advanced only by receives; after a collective completes, the max
+    /// over all endpoints is the modeled critical-path completion time of
+    /// the executed schedule.
+    pub fn vtime_ps(&self) -> u64 {
+        self.vtime_ps.load(Ordering::Relaxed)
     }
 
     /// Snapshots every op's totals (index order).
@@ -291,6 +327,23 @@ mod tests {
         stats.on_recv(1_000_000);
         let want = msa_obs::simtime_to_ps(link.p2p(1e6));
         assert_eq!(stats.export().op(CollectiveOp::P2p).wait_ps, want);
+    }
+
+    #[test]
+    fn vtime_is_a_priced_lamport_clock() {
+        let link = LinkParams::extoll();
+        let stats = CommStats::new(link);
+        assert_eq!(stats.vtime_ps(), 0);
+        let cost = msa_obs::simtime_to_ps(link.p2p(1024.0));
+        // Message stamped "sent at 5000 ps" arrives at 5000 + cost.
+        stats.on_recv_priced(1024, link, 5000);
+        assert_eq!(stats.vtime_ps(), 5000 + cost);
+        // A stale message (older stamp) never rewinds the clock.
+        stats.on_recv_priced(1024, link, 0);
+        assert_eq!(stats.vtime_ps(), 5000 + cost);
+        // Plain on_recv advances from the current clock.
+        stats.on_recv(1024);
+        assert_eq!(stats.vtime_ps(), 5000 + 2 * cost);
     }
 
     #[test]

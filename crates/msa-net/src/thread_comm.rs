@@ -4,7 +4,7 @@
 //! [`crate::collectives`] then run *for real* over these channels.
 
 use crate::comm::PointToPoint;
-use crate::cost::LinkParams;
+use crate::cost::{LinkParams, Topology};
 use crate::stats::CommStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -61,6 +61,10 @@ pub struct CommOptions {
     /// Link model for [`CommStats`] receive pricing; `None` uses
     /// [`LinkParams::extoll`] (the DEEP federation fabric).
     pub link: Option<LinkParams>,
+    /// Node topology: when set, messages between ranks of the same node
+    /// are priced on the topology's intra-node link instead of `link`,
+    /// in both the wait counters and the virtual-time measurement.
+    pub topo: Option<Topology>,
 }
 
 impl CommOptions {
@@ -84,6 +88,12 @@ impl CommOptions {
     /// Sets the link model used to price recorded traffic.
     pub fn link(mut self, link: LinkParams) -> Self {
         self.link = Some(link);
+        self
+    }
+
+    /// Sets the node topology for per-peer link pricing.
+    pub fn topo(mut self, topo: Topology) -> Self {
+        self.topo = Some(topo);
         self
     }
 
@@ -122,6 +132,13 @@ pub struct ThreadComm {
     senders: Vec<Sender<Vec<f32>>>,
     /// `receivers[from]` drains the (from → self) channel.
     receivers: Vec<Receiver<Vec<f32>>>,
+    /// `stamp_tx[to]` carries the sender's virtual send time, one stamp
+    /// per payload message in the same FIFO order, so every receive can
+    /// compute a deterministic modeled arrival time (see
+    /// [`CommStats::on_recv_priced`]).
+    stamp_tx: Vec<Sender<u64>>,
+    /// `stamp_rx[from]` pairs with `receivers[from]`.
+    stamp_rx: Vec<Receiver<u64>>,
     /// `pool_credits[to]` holds recycled buffers this endpoint may use
     /// for its next slice-path send to `to` (seeded with
     /// [`CREDITS_PER_CHANNEL`] empty buffers at construction; refilled by
@@ -138,6 +155,8 @@ pub struct ThreadComm {
     pool_allocs: msa_sync::atomic::AtomicU64,
     /// Armed fault, shared (by value) across all endpoints.
     fault: Option<FaultPlan>,
+    /// Node topology for per-peer link pricing, if any.
+    topo: Option<Topology>,
     /// Per-endpoint traffic counters (always on; relaxed atomics).
     stats: CommStats,
 }
@@ -187,11 +206,21 @@ impl ThreadComm {
         let mut pool_tx_rows: Vec<Vec<Sender<Vec<f32>>>> = Vec::with_capacity(n);
         let mut pool_rx_cols: Vec<Vec<Receiver<Vec<f32>>>> =
             (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut stamp_tx_rows: Vec<Vec<Sender<u64>>> = Vec::with_capacity(n);
+        let mut stamp_rx_cols: Vec<Vec<Receiver<u64>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
         for i in 0..n {
             let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
             tx_rows.push(senders);
             for (j, r) in receivers.into_iter().enumerate() {
                 rx_cols[j].push(r);
+            }
+            // Stamp mesh: one u64 channel per directed pair, FIFO-paired
+            // with the payload channel above.
+            let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+            stamp_tx_rows.push(senders);
+            for (j, r) in receivers.into_iter().enumerate() {
+                stamp_rx_cols[j].push(r);
             }
             let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
             // Seed the credits: pool channel (i ⇒ j) feeds rank j's
@@ -216,18 +245,27 @@ impl ThreadComm {
             .into_iter()
             .zip(rx_cols)
             .zip(pool_tx_rows.into_iter().zip(pool_rx_cols))
+            .zip(stamp_tx_rows.into_iter().zip(stamp_rx_cols))
             .enumerate()
-            .map(|(rank, ((senders, receivers), (pool_return, pool_credits)))| ThreadComm {
-                rank,
-                size: n,
-                senders,
-                receivers,
-                pool_credits,
-                pool_return,
-                pool_allocs: msa_sync::atomic::AtomicU64::new(0),
-                fault,
-                stats: CommStats::new(link),
-            })
+            .map(
+                |(
+                    rank,
+                    (((senders, receivers), (pool_return, pool_credits)), (stamp_tx, stamp_rx)),
+                )| ThreadComm {
+                    rank,
+                    size: n,
+                    senders,
+                    receivers,
+                    stamp_tx,
+                    stamp_rx,
+                    pool_credits,
+                    pool_return,
+                    pool_allocs: msa_sync::atomic::AtomicU64::new(0),
+                    fault,
+                    topo: opts.topo,
+                    stats: CommStats::new(link),
+                },
+            )
             .collect()
     }
 
@@ -297,6 +335,32 @@ impl ThreadComm {
     pub fn pool_allocs(&self) -> u64 {
         self.pool_allocs.load(msa_sync::atomic::Ordering::Relaxed)
     }
+
+    /// The link a message to/from `peer` travels: the topology's
+    /// intra-node link when both ranks share a node, the fabric link
+    /// otherwise.
+    fn link_for(&self, peer: usize) -> LinkParams {
+        match self.topo {
+            Some(t) if t.same_node(self.rank, peer) => t.intra,
+            _ => self.stats.link(),
+        }
+    }
+
+    /// Pushes the virtual send time for an outgoing message to `to`.
+    fn stamp_send(&self, to: usize) {
+        self.stamp_tx[to]
+            .send(self.stats.vtime_ps())
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
+            .expect("peer endpoint dropped while communicator in use");
+    }
+
+    /// Pops the matching send stamp for an incoming message from `from`.
+    fn stamp_recv(&self, from: usize) -> u64 {
+        self.stamp_rx[from]
+            .recv()
+            // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
+            .expect("peer endpoint dropped while communicator in use")
+    }
 }
 
 impl PointToPoint for ThreadComm {
@@ -311,6 +375,7 @@ impl PointToPoint for ThreadComm {
     fn send(&self, to: usize, data: Vec<f32>) {
         assert!(to < self.size && to != self.rank, "invalid peer {to}");
         self.stats.on_send(data.len() * std::mem::size_of::<f32>());
+        self.stamp_send(to);
         // Unbounded channel: never blocks; peer death is a test bug.
         self.senders[to]
             .send(data)
@@ -320,12 +385,17 @@ impl PointToPoint for ThreadComm {
 
     fn recv(&self, from: usize) -> Vec<f32> {
         assert!(from < self.size && from != self.rank, "invalid peer {from}");
+        let sent_at = self.stamp_recv(from);
         let data = self
             .receivers[from]
             .recv()
             // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
             .expect("peer endpoint dropped while communicator in use");
-        self.stats.on_recv(data.len() * std::mem::size_of::<f32>());
+        self.stats.on_recv_priced(
+            data.len() * std::mem::size_of::<f32>(),
+            self.link_for(from),
+            sent_at,
+        );
         data
     }
 
@@ -346,6 +416,7 @@ impl PointToPoint for ThreadComm {
         buf.clear();
         buf.extend_from_slice(data);
         self.stats.on_send(std::mem::size_of_val(data));
+        self.stamp_send(to);
         self.senders[to]
             .send(buf)
             // lint: allow(unwrap) -- a dropped peer is a harness bug, not a recoverable state
@@ -354,6 +425,7 @@ impl PointToPoint for ThreadComm {
 
     fn recv_into(&self, from: usize, dst: &mut [f32]) {
         assert!(from < self.size && from != self.rank, "invalid peer {from}");
+        let sent_at = self.stamp_recv(from);
         let data = self
             .receivers[from]
             .recv()
@@ -365,7 +437,11 @@ impl PointToPoint for ThreadComm {
             "recv_into: message length mismatch from rank {from}"
         );
         dst.copy_from_slice(&data);
-        self.stats.on_recv(data.len() * std::mem::size_of::<f32>());
+        self.stats.on_recv_priced(
+            data.len() * std::mem::size_of::<f32>(),
+            self.link_for(from),
+            sent_at,
+        );
         // Recycle: the spent buffer goes back to its sender as a fresh
         // credit. Ignore a dropped peer here — by then the data channel
         // has already surfaced the failure.
@@ -615,6 +691,54 @@ mod tests {
             let snap = snap.expect("stats always present");
             assert_eq!(snap.op(CollectiveOp::Allreduce).wait_ps, want);
         }
+    }
+
+    #[test]
+    fn vtime_measures_the_ring_critical_path() {
+        use crate::cost::LinkParams;
+
+        // p=2 ring over 100 f32s: reduce-scatter + allgather = 2 serial
+        // steps, each moving one 50-element (200-byte) chunk. The priced
+        // Lamport clock must land on exactly 2 hops of α + m/β.
+        let link = LinkParams::extoll();
+        let out = ThreadComm::run_with(2, &CommOptions::new().link(link), |c| {
+            let mut buf = vec![1.0f32; 100];
+            c.allreduce_sum(&mut buf);
+            c.stats().map(|s| s.vtime_ps()).unwrap_or(0)
+        });
+        let want = 2 * msa_obs::simtime_to_ps(link.p2p(200.0));
+        assert_eq!(out, vec![want, want]);
+    }
+
+    #[test]
+    fn topology_prices_intra_node_hops_on_the_intra_link() {
+        use crate::cost::{LinkParams, Topology};
+        use crate::stats::CollectiveOp;
+
+        // Both ranks on one node: every hop must be priced on NVLink,
+        // not the fabric, in both wait and vtime.
+        let fabric = LinkParams::extoll();
+        let topo = Topology::esb(2);
+        let opts = CommOptions::new().link(fabric).topo(topo);
+        let out = ThreadComm::run_with(2, &opts, |c| {
+            let mut buf = vec![1.0f32; 100];
+            c.allreduce_sum(&mut buf);
+            let s = c.stats().expect("stats always on");
+            (s.export().op(CollectiveOp::Allreduce).wait_ps, s.vtime_ps())
+        });
+        let hop = msa_obs::simtime_to_ps(topo.intra.p2p(200.0));
+        for (wait, vtime) in out {
+            assert_eq!(wait, 2 * hop);
+            assert_eq!(vtime, 2 * hop);
+        }
+        // Split across two nodes, the same traffic pays the fabric.
+        let opts = CommOptions::new().link(fabric).topo(Topology::esb(1));
+        let out = ThreadComm::run_with(2, &opts, |c| {
+            let mut buf = vec![1.0f32; 100];
+            c.allreduce_sum(&mut buf);
+            c.stats().map(|s| s.vtime_ps()).unwrap_or(0)
+        });
+        assert_eq!(out, vec![2 * msa_obs::simtime_to_ps(fabric.p2p(200.0)); 2]);
     }
 
     #[test]

@@ -1,0 +1,752 @@
+//! Measured collective autotuner (MPI "tuned collectives" style).
+//!
+//! The cost models in [`crate::cost`] predict; this module *measures*.
+//! Every allreduce algorithm the workspace implements — ring, recursive
+//! doubling, pipeline, hierarchical — is executed **for real** over a
+//! fresh [`ThreadComm`] for each (ranks, bytes) cell of a grid, and the
+//! schedule's completion time is read off the priced Lamport clock the
+//! transport maintains ([`crate::CommStats::vtime_ps`]): each message
+//! carries its sender's virtual send time, each receive advances the
+//! receiver to `max(now, sent_at + α + m/β)` on the link that hop
+//! actually travels (NVLink inside a node, fabric between nodes — see
+//! [`Topology`]). The maximum endpoint clock after the collective is the
+//! critical-path time of the schedule that really ran — a discrete-event
+//! measurement that is *deterministic*: it depends on the message
+//! schedule, never on host scheduling, so the same grid produces the
+//! same bytes twice.
+//!
+//! The winners are persisted as a [`DecisionTable`] (byte-stable text
+//! format `msa-tune-v1`, see DESIGN.md §13) and consulted per call by
+//! [`tuned_allreduce`], which is what `distrib`'s gradient exchange
+//! dispatches through.
+//!
+//! One honesty note: the virtual clock prices links, not buffer limits —
+//! it assumes unbounded in-flight messages, so credit-pool back-pressure
+//! (`Bounded(2)` on the slice path) is not part of the measurement. That
+//! matches the α–β models it replaces and keeps the clock monotone.
+
+use crate::collectives;
+use crate::comm::PointToPoint;
+use crate::cost::{CollectiveAlgo, LinkParams, Topology};
+use crate::hierarchical::{hierarchical_allreduce, hierarchical_cost};
+use crate::scratch::Arena;
+use crate::thread_comm::{CommOptions, ThreadComm};
+use msa_core::SimTime;
+
+/// An algorithm the tuner can select — the software [`CollectiveAlgo`]s
+/// that have real implementations, plus the two-level hierarchical
+/// schedule (which the flat cost enum cannot express: it needs the
+/// node-group size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunedAlgo {
+    /// Chunked ring ([`collectives::ring_allreduce`]).
+    Ring,
+    /// Recursive doubling with non-power-of-two fold-in.
+    RecursiveDoubling,
+    /// Partition-invariant pipeline chain.
+    Pipeline,
+    /// Two-level: intra-node reduce, leader ring, intra-node broadcast.
+    Hierarchical {
+        /// Node group size the schedule was measured with.
+        ranks_per_node: usize,
+    },
+}
+
+impl TunedAlgo {
+    /// Stable table/JSON name.
+    pub fn name(self) -> String {
+        match self {
+            TunedAlgo::Ring => "ring".to_string(),
+            TunedAlgo::RecursiveDoubling => "recursive_doubling".to_string(),
+            TunedAlgo::Pipeline => "pipeline".to_string(),
+            TunedAlgo::Hierarchical { ranks_per_node } => format!("hierarchical/{ranks_per_node}"),
+        }
+    }
+
+    /// Inverse of [`TunedAlgo::name`].
+    pub fn parse(s: &str) -> Option<TunedAlgo> {
+        match s {
+            "ring" => Some(TunedAlgo::Ring),
+            "recursive_doubling" => Some(TunedAlgo::RecursiveDoubling),
+            "pipeline" => Some(TunedAlgo::Pipeline),
+            _ => {
+                let k = s.strip_prefix("hierarchical/")?.parse().ok()?;
+                if k >= 1 {
+                    Some(TunedAlgo::Hierarchical { ranks_per_node: k })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether this algorithm can run at `ranks` at all. The hierarchical
+    /// schedule needs `ranks` divisible into more than one full node.
+    pub fn applicable(self, ranks: usize) -> bool {
+        match self {
+            TunedAlgo::Hierarchical { ranks_per_node } => {
+                ranks > ranks_per_node && ranks.is_multiple_of(ranks_per_node)
+            }
+            _ => true,
+        }
+    }
+
+    /// The flat cost-model twin, for the software algorithms.
+    pub fn software_model(self) -> Option<CollectiveAlgo> {
+        match self {
+            TunedAlgo::Ring => Some(CollectiveAlgo::Ring),
+            TunedAlgo::RecursiveDoubling => Some(CollectiveAlgo::RecursiveDoubling),
+            TunedAlgo::Pipeline => Some(CollectiveAlgo::Pipeline),
+            TunedAlgo::Hierarchical { .. } => None,
+        }
+    }
+
+    /// Analytic α–β prediction for this algorithm on the given fabric
+    /// and topology — what `distrib::perf` prices, then calibrates by
+    /// the table's measured/modeled ratio.
+    pub fn model_time(self, ranks: usize, bytes: f64, inter: LinkParams, topo: Topology) -> SimTime {
+        match self {
+            TunedAlgo::Hierarchical { ranks_per_node } => {
+                hierarchical_cost(ranks, ranks_per_node, bytes, topo.intra, inter)
+            }
+            _ => match self.software_model() {
+                Some(algo) => algo.allreduce_time(ranks, bytes, inter),
+                // the hierarchical arm above is the only None
+                _ => unreachable!(),
+            },
+        }
+    }
+
+    /// [`TunedAlgo::model_time`] as integer picoseconds — the
+    /// `modeled_ps` column of the table, kept next to the measurement.
+    pub fn modeled_ps(self, ranks: usize, bytes: usize, inter: LinkParams, topo: Topology) -> u64 {
+        msa_obs::simtime_to_ps(self.model_time(ranks, bytes as f64, inter, topo))
+    }
+
+    /// Runs this algorithm collectively on `c`. Panics if called at a
+    /// size where [`TunedAlgo::applicable`] is false (the table's
+    /// [`DecisionTable::select`] never returns such a pick).
+    pub fn run<C: PointToPoint + ?Sized>(self, c: &C, buf: &mut [f32], scratch: &mut Arena) {
+        match self {
+            TunedAlgo::Ring => collectives::ring_allreduce_with(c, buf, scratch),
+            TunedAlgo::RecursiveDoubling => {
+                collectives::recursive_doubling_allreduce_with(c, buf, scratch)
+            }
+            TunedAlgo::Pipeline => collectives::pipeline_allreduce_with(c, buf, scratch),
+            TunedAlgo::Hierarchical { ranks_per_node } => {
+                hierarchical_allreduce(c, buf, ranks_per_node)
+            }
+        }
+    }
+}
+
+/// One measured execution of one algorithm in one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// The algorithm that ran.
+    pub algo: TunedAlgo,
+    /// Critical-path virtual time of the executed schedule (max endpoint
+    /// [`crate::CommStats::vtime_ps`] on a fresh communicator).
+    pub measured_ps: u64,
+    /// The α–β model's prediction for the same cell.
+    pub modeled_ps: u64,
+    /// Messages summed over every rank — the corrected wire counters.
+    pub msgs_total: u64,
+    /// Payload bytes summed over every rank.
+    pub bytes_total: u64,
+}
+
+/// One grid cell: every candidate measured, winner = measured argmin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Communicator size of this cell.
+    pub ranks: usize,
+    /// Allreduce payload in bytes.
+    pub bytes: usize,
+    /// Every candidate's measurement, in fixed candidate order.
+    pub measurements: Vec<Measurement>,
+    /// Index into `measurements` of the measured argmin (first wins an
+    /// exact tie, so the pick is deterministic).
+    pub best: usize,
+}
+
+impl Cell {
+    /// The winning measurement.
+    pub fn winner(&self) -> &Measurement {
+        &self.measurements[self.best]
+    }
+
+    /// The fastest *software* (non-hierarchical) candidate — the fallback
+    /// recorded in the table for sizes where the hierarchical pick cannot
+    /// run.
+    pub fn best_software(&self) -> &Measurement {
+        let mut best: Option<&Measurement> = None;
+        for m in &self.measurements {
+            if matches!(m.algo, TunedAlgo::Hierarchical { .. }) {
+                continue;
+            }
+            if best.is_none_or(|b| m.measured_ps < b.measured_ps) {
+                best = Some(m);
+            }
+        }
+        // lint: allow(unwrap) -- cells always contain the three software candidates by construction
+        best.expect("cell has no software candidate")
+    }
+}
+
+/// Executes `algo` for real at (`ranks`, `bytes`) and reads the priced
+/// clocks and wire counters back. Panics on a phantom-zero wire row
+/// (`msgs_total == 0` at `ranks > 1`) — the class of bug this PR fixes
+/// can never ship through the tuner.
+pub fn measure(
+    algo: TunedAlgo,
+    ranks: usize,
+    bytes: usize,
+    link: LinkParams,
+    topo: Topology,
+) -> Measurement {
+    assert!(ranks >= 1);
+    assert!(
+        bytes >= 4 && bytes.is_multiple_of(4),
+        "payload must be a whole number of f32s"
+    );
+    assert!(algo.applicable(ranks), "{} cannot run at p={ranks}", algo.name());
+    let len = bytes / 4;
+    let opts = CommOptions::new().link(link).topo(topo);
+    let per_rank = ThreadComm::run_with(ranks, &opts, |c| {
+        let mut buf = vec![1.0f32; len];
+        let mut scratch = Arena::new();
+        algo.run(c, &mut buf, &mut scratch);
+        // Correctness is part of the measurement: an allreduce of all-ones
+        // must produce exactly `ranks` everywhere (whole-number sums are
+        // exact in f32 at every grid size).
+        let want = ranks as f32;
+        assert!(
+            buf.iter().all(|v| v.to_bits() == want.to_bits()),
+            "{} at p={ranks} produced a wrong sum",
+            algo.name()
+        );
+        // lint: allow(unwrap) -- ThreadComm endpoints always carry stats
+        let stats = c.stats().expect("ThreadComm always keeps stats");
+        let t = stats.export().total();
+        (t.msgs_sent, t.bytes_sent, stats.vtime_ps())
+    });
+    let msgs_total: u64 = per_rank.iter().map(|(m, _, _)| *m).sum();
+    let bytes_total: u64 = per_rank.iter().map(|(_, b, _)| *b).sum();
+    let measured_ps = per_rank.iter().map(|(_, _, v)| *v).max().unwrap_or(0);
+    assert!(
+        ranks == 1 || (msgs_total > 0 && measured_ps > 0),
+        "phantom-zero wire row: {} at p={ranks} recorded no traffic",
+        algo.name()
+    );
+    Measurement {
+        algo,
+        measured_ps,
+        modeled_ps: algo.modeled_ps(ranks, bytes, link, topo),
+        msgs_total,
+        bytes_total,
+    }
+}
+
+/// The fixed candidate list for one cell: the three software algorithms,
+/// plus the topology's hierarchical schedule where it can run.
+pub fn candidates(ranks: usize, topo: Topology) -> Vec<TunedAlgo> {
+    let mut list = vec![
+        TunedAlgo::Ring,
+        TunedAlgo::RecursiveDoubling,
+        TunedAlgo::Pipeline,
+    ];
+    let hier = TunedAlgo::Hierarchical {
+        ranks_per_node: topo.ranks_per_node,
+    };
+    if hier.applicable(ranks) {
+        list.push(hier);
+    }
+    list
+}
+
+/// Measures every candidate in one (ranks, bytes) cell.
+pub fn measure_cell(ranks: usize, bytes: usize, link: LinkParams, topo: Topology) -> Cell {
+    let measurements: Vec<Measurement> = candidates(ranks, topo)
+        .into_iter()
+        .map(|algo| measure(algo, ranks, bytes, link, topo))
+        .collect();
+    let mut best = 0;
+    for (i, m) in measurements.iter().enumerate() {
+        if m.measured_ps < measurements[best].measured_ps {
+            best = i;
+        }
+    }
+    Cell {
+        ranks,
+        bytes,
+        measurements,
+        best,
+    }
+}
+
+/// A benchmark grid: which (ranks, bytes) cells to measure, on which
+/// fabric and topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneGrid {
+    /// Inter-node fabric link.
+    pub link: LinkParams,
+    /// Node topology (group size + intra-node link).
+    pub topo: Topology,
+    /// The (ranks, bytes) cells, in measurement order.
+    pub cells: Vec<(usize, usize)>,
+}
+
+const KIB: usize = 1024;
+const MIB: usize = 1024 * 1024;
+
+impl TuneGrid {
+    /// The paper-scale grid: EXTOLL fabric, 4-GPU NVLink nodes, ranks up
+    /// to the source paper's 96 and 128 (large-p payloads capped at
+    /// 256 KiB to keep the 128-thread meshes cheap).
+    pub fn paper() -> TuneGrid {
+        let mut cells = Vec::new();
+        for p in [2usize, 4] {
+            for b in [KIB, 64 * KIB, MIB, 16 * MIB] {
+                cells.push((p, b));
+            }
+        }
+        for p in [8usize, 16, 32] {
+            for b in [KIB, 64 * KIB, MIB] {
+                cells.push((p, b));
+            }
+        }
+        for p in [96usize, 128] {
+            for b in [KIB, 64 * KIB, 256 * KIB] {
+                cells.push((p, b));
+            }
+        }
+        TuneGrid {
+            link: LinkParams::extoll(),
+            topo: Topology::esb(4),
+            cells,
+        }
+    }
+
+    /// A seconds-fast grid for unit tests: p ≤ 8, small payloads.
+    pub fn smoke() -> TuneGrid {
+        TuneGrid {
+            link: LinkParams::extoll(),
+            topo: Topology::esb(4),
+            cells: vec![(2, KIB), (4, KIB), (4, 64 * KIB), (8, KIB), (8, 64 * KIB)],
+        }
+    }
+
+    /// Measures every cell.
+    pub fn run(&self) -> TuneReport {
+        TuneReport {
+            link: self.link,
+            topo: self.topo,
+            cells: self
+                .cells
+                .iter()
+                .map(|&(p, b)| measure_cell(p, b, self.link, self.topo))
+                .collect(),
+        }
+    }
+}
+
+/// Every cell of a completed grid run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Inter-node fabric the grid ran on.
+    pub link: LinkParams,
+    /// Node topology the grid ran on.
+    pub topo: Topology,
+    /// Measured cells, in grid order.
+    pub cells: Vec<Cell>,
+}
+
+impl TuneReport {
+    /// Distills the winners into a decision table.
+    pub fn table(&self) -> DecisionTable {
+        let entries = self
+            .cells
+            .iter()
+            .map(|c| TableEntry {
+                ranks: c.ranks,
+                bytes: c.bytes,
+                algo: c.winner().algo,
+                fallback: c.best_software().algo,
+                measured_ps: c.winner().measured_ps,
+                modeled_ps: c.winner().modeled_ps,
+            })
+            .collect();
+        DecisionTable {
+            inter: self.link,
+            topo: self.topo,
+            entries,
+        }
+    }
+}
+
+/// One persisted decision: at (ranks, bytes), dispatch `algo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    /// Communicator size the cell was measured at.
+    pub ranks: usize,
+    /// Payload bytes the cell was measured at.
+    pub bytes: usize,
+    /// The measured-fastest algorithm.
+    pub algo: TunedAlgo,
+    /// The measured-fastest *software* algorithm — used when `algo` is
+    /// hierarchical but the caller's size cannot run it.
+    pub fallback: TunedAlgo,
+    /// The winner's measured critical path.
+    pub measured_ps: u64,
+    /// The winner's α–β model prediction (calibration denominator).
+    pub modeled_ps: u64,
+}
+
+/// Errors from [`DecisionTable::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableParseError {
+    /// First line was not the expected format tag.
+    BadHeader,
+    /// A line did not match its grammar; payload is the line text.
+    BadLine(String),
+    /// The table parsed but contains no cells.
+    Empty,
+}
+
+impl std::fmt::Display for TableParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableParseError::BadHeader => write!(f, "missing msa-tune-v1 header"),
+            TableParseError::BadLine(l) => write!(f, "malformed table line: {l}"),
+            TableParseError::Empty => write!(f, "decision table has no cells"),
+        }
+    }
+}
+
+impl std::error::Error for TableParseError {}
+
+/// The persisted autotuner output: a sorted list of measured winners,
+/// plus the link/topology they were measured on, with a byte-stable
+/// text round trip ([`DecisionTable::to_table_string`] /
+/// [`DecisionTable::parse`]) and nearest-cell selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTable {
+    inter: LinkParams,
+    topo: Topology,
+    entries: Vec<TableEntry>,
+}
+
+impl DecisionTable {
+    /// The fabric link the grid was measured on.
+    pub fn inter(&self) -> LinkParams {
+        self.inter
+    }
+
+    /// The topology the grid was measured on.
+    pub fn topo(&self) -> Topology {
+        self.topo
+    }
+
+    /// All entries, in grid order.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The nearest measured cell to (`ranks`, `bytes`): minimize the rank
+    /// distance first, then the byte distance in log₂ space, then the
+    /// absolute byte distance — all integer arithmetic, first entry wins
+    /// exact ties, so selection is deterministic and total.
+    pub fn entry_for(&self, ranks: usize, bytes: usize) -> &TableEntry {
+        fn absdiff(a: usize, b: usize) -> u64 {
+            (a as u64).abs_diff(b as u64)
+        }
+        fn log2(v: usize) -> u32 {
+            v.max(1).ilog2()
+        }
+        let key = |e: &TableEntry| {
+            (
+                absdiff(e.ranks, ranks),
+                log2(e.bytes).abs_diff(log2(bytes)),
+                absdiff(e.bytes, bytes),
+            )
+        };
+        let mut best = &self.entries[0];
+        let mut best_key = key(best);
+        for e in &self.entries[1..] {
+            let k = key(e);
+            if k < best_key {
+                best = e;
+                best_key = k;
+            }
+        }
+        best
+    }
+
+    /// The algorithm to dispatch for an allreduce of `bytes` over
+    /// `ranks`: the nearest cell's winner, demoted to its software
+    /// fallback when the winner cannot run at this exact size (e.g. a
+    /// hierarchical pick at a size not divisible into nodes).
+    pub fn select(&self, ranks: usize, bytes: usize) -> TunedAlgo {
+        let e = self.entry_for(ranks, bytes);
+        if e.algo.applicable(ranks) {
+            e.algo
+        } else {
+            e.fallback
+        }
+    }
+
+    /// Measured/modeled ratio of the nearest cell — the factor
+    /// `distrib::perf` multiplies its analytic prediction by.
+    pub fn calibration(&self, ranks: usize, bytes: usize) -> f64 {
+        let e = self.entry_for(ranks, bytes);
+        if e.modeled_ps == 0 {
+            1.0
+        } else {
+            e.measured_ps as f64 / e.modeled_ps as f64
+        }
+    }
+
+    /// Serializes to the `msa-tune-v1` text format. Byte-stable: entry
+    /// order is preserved, floats print via Rust's shortest-round-trip
+    /// formatter, everything else is integers — two identical grid runs
+    /// produce identical bytes (asserted in CI with `cmp`).
+    pub fn to_table_string(&self) -> String {
+        let mut out = String::from("msa-tune-v1\n");
+        out.push_str(&format!(
+            "inter {} {}\n",
+            self.inter.latency_us, self.inter.bw_gbs
+        ));
+        out.push_str(&format!(
+            "intra {} {} {}\n",
+            self.topo.ranks_per_node, self.topo.intra.latency_us, self.topo.intra.bw_gbs
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "cell ranks={} bytes={} algo={} fallback={} measured_ps={} modeled_ps={}\n",
+                e.ranks,
+                e.bytes,
+                e.algo.name(),
+                e.fallback.name(),
+                e.measured_ps,
+                e.modeled_ps
+            ));
+        }
+        out
+    }
+
+    /// Parses the `msa-tune-v1` format; exact inverse of
+    /// [`DecisionTable::to_table_string`].
+    pub fn parse(text: &str) -> Result<DecisionTable, TableParseError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("msa-tune-v1") {
+            return Err(TableParseError::BadHeader);
+        }
+        let bad = |l: &str| TableParseError::BadLine(l.to_string());
+        let mut inter = None;
+        let mut topo = None;
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.first().copied() {
+                Some("inter") if fields.len() == 3 => {
+                    inter = Some(LinkParams {
+                        latency_us: fields[1].parse().map_err(|_| bad(line))?,
+                        bw_gbs: fields[2].parse().map_err(|_| bad(line))?,
+                    });
+                }
+                Some("intra") if fields.len() == 4 => {
+                    topo = Some(Topology {
+                        ranks_per_node: fields[1].parse().map_err(|_| bad(line))?,
+                        intra: LinkParams {
+                            latency_us: fields[2].parse().map_err(|_| bad(line))?,
+                            bw_gbs: fields[3].parse().map_err(|_| bad(line))?,
+                        },
+                    });
+                }
+                Some("cell") if fields.len() == 7 => {
+                    let get = |i: usize, k: &str| -> Result<&str, TableParseError> {
+                        fields[i].strip_prefix(k).ok_or_else(|| bad(line))
+                    };
+                    let ranks = get(1, "ranks=")?.parse().map_err(|_| bad(line))?;
+                    let bytes = get(2, "bytes=")?.parse().map_err(|_| bad(line))?;
+                    let algo = TunedAlgo::parse(get(3, "algo=")?).ok_or_else(|| bad(line))?;
+                    let fallback =
+                        TunedAlgo::parse(get(4, "fallback=")?).ok_or_else(|| bad(line))?;
+                    let measured_ps = get(5, "measured_ps=")?.parse().map_err(|_| bad(line))?;
+                    let modeled_ps = get(6, "modeled_ps=")?.parse().map_err(|_| bad(line))?;
+                    entries.push(TableEntry {
+                        ranks,
+                        bytes,
+                        algo,
+                        fallback,
+                        measured_ps,
+                        modeled_ps,
+                    });
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        match (inter, topo) {
+            _ if entries.is_empty() => Err(TableParseError::Empty),
+            (Some(inter), Some(topo)) => Ok(DecisionTable {
+                inter,
+                topo,
+                entries,
+            }),
+            _ => Err(TableParseError::BadHeader),
+        }
+    }
+}
+
+/// Allreduce (sum) dispatched through a measured [`DecisionTable`]:
+/// selects the nearest cell's winner for `(c.size(), byte length of
+/// buf)` and runs it. Fresh arena per call; use
+/// [`tuned_allreduce_with`] on hot paths.
+pub fn tuned_allreduce<C: PointToPoint + ?Sized>(c: &C, buf: &mut [f32], table: &DecisionTable) {
+    tuned_allreduce_with(c, buf, &mut Arena::new(), table);
+}
+
+/// [`tuned_allreduce`] with a caller-owned receive-staging arena —
+/// zero-alloc in steady state on pooled transports, like the `_with`
+/// collectives it dispatches to.
+pub fn tuned_allreduce_with<C: PointToPoint + ?Sized>(
+    c: &C,
+    buf: &mut [f32],
+    scratch: &mut Arena,
+    table: &DecisionTable,
+) {
+    if c.size() == 1 || buf.is_empty() {
+        return;
+    }
+    table
+        .select(c.size(), std::mem::size_of_val(buf))
+        .run(c, buf, scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_table() -> DecisionTable {
+        TuneGrid::smoke().run().table()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for algo in [
+            TunedAlgo::Ring,
+            TunedAlgo::RecursiveDoubling,
+            TunedAlgo::Pipeline,
+            TunedAlgo::Hierarchical { ranks_per_node: 4 },
+        ] {
+            assert_eq!(TunedAlgo::parse(&algo.name()), Some(algo));
+        }
+        assert_eq!(TunedAlgo::parse("hierarchical/0"), None);
+        assert_eq!(TunedAlgo::parse("gce"), None);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_correct() {
+        let link = LinkParams::extoll();
+        let topo = Topology::esb(4);
+        for algo in candidates(8, topo) {
+            let a = measure(algo, 8, 4096, link, topo);
+            let b = measure(algo, 8, 4096, link, topo);
+            assert_eq!(a, b, "{} measurement must be reproducible", algo.name());
+            assert!(a.msgs_total > 0 && a.measured_ps > 0);
+        }
+    }
+
+    #[test]
+    fn measured_ring_matches_the_alpha_beta_model_at_even_chunks() {
+        // p=4 over 1024 f32s: chunks divide evenly, so the executed ring
+        // schedule is exactly the textbook one the model prices. The
+        // Lamport clock must land on the model to the picosecond.
+        let link = LinkParams::extoll();
+        let m = measure(TunedAlgo::Ring, 4, 4096, link, Topology::esb(1));
+        assert_eq!(m.measured_ps, m.modeled_ps);
+    }
+
+    #[test]
+    fn recursive_doubling_wins_small_messages_in_measurement() {
+        let cell = measure_cell(8, KIB, LinkParams::extoll(), Topology::esb(4));
+        // The argmin invariant, plus the expected physics: log₂ rounds
+        // beat 14 serial ring hops at 1 KiB.
+        for m in &cell.measurements {
+            assert!(cell.winner().measured_ps <= m.measured_ps);
+        }
+        assert_eq!(cell.winner().algo, TunedAlgo::RecursiveDoubling);
+    }
+
+    #[test]
+    fn table_round_trips_byte_identically() {
+        let table = smoke_table();
+        let text = table.to_table_string();
+        let parsed = DecisionTable::parse(&text).expect("own output must parse");
+        assert_eq!(parsed, table);
+        assert_eq!(parsed.to_table_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            DecisionTable::parse("not a table"),
+            Err(TableParseError::BadHeader)
+        );
+        assert_eq!(
+            DecisionTable::parse("msa-tune-v1\nwat 1 2\n"),
+            Err(TableParseError::BadLine("wat 1 2".to_string()))
+        );
+        assert_eq!(
+            DecisionTable::parse("msa-tune-v1\ninter 1.1 12.5\nintra 4 0.3 300\n"),
+            Err(TableParseError::Empty)
+        );
+    }
+
+    #[test]
+    fn selection_is_nearest_cell_and_respects_applicability() {
+        let table = smoke_table();
+        for &(p, b) in &TuneGrid::smoke().cells {
+            let e = table.entry_for(p, b);
+            assert_eq!((e.ranks, e.bytes), (p, b), "exact cells hit themselves");
+        }
+        // Off-grid sizes snap to a neighbour and always get a runnable pick.
+        for p in [3usize, 5, 6, 7, 9, 10] {
+            for b in [100usize, 2048, 50_000] {
+                let algo = table.select(p, b);
+                assert!(algo.applicable(p), "p={p} b={b} got {}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_allreduce_sums_correctly_at_off_grid_sizes() {
+        let table = smoke_table();
+        for p in [1usize, 3, 5, 7] {
+            let out = ThreadComm::run(p, |c| {
+                let mut buf: Vec<f32> = (0..37).map(|i| (c.rank() + i) as f32).collect();
+                tuned_allreduce(c, &mut buf, &table);
+                buf
+            });
+            let expected: Vec<f32> = (0..37)
+                .map(|i| (0..p).map(|r| (r + i) as f32).sum())
+                .collect();
+            for buf in &out {
+                assert_eq!(buf, &expected, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_is_finite_and_positive() {
+        let table = smoke_table();
+        for e in table.entries() {
+            let c = table.calibration(e.ranks, e.bytes);
+            assert!(c.is_finite() && c > 0.0);
+        }
+    }
+}

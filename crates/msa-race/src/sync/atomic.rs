@@ -92,6 +92,10 @@ macro_rules! instrumented_atomic {
                 self.rmw(ord, move |old| old.wrapping_sub(value))
             }
 
+            pub fn fetch_max(&self, value: $prim, ord: Ordering) -> $prim {
+                self.rmw(ord, move |old| old.max(value))
+            }
+
             /// Shared RMW plumbing: inside a model the scheduler holds
             /// the token, so a load+store pair is atomic.
             #[allow(clippy::unnecessary_cast)]
