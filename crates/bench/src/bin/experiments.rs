@@ -7,9 +7,10 @@
 //! cargo run --release -p bench --bin experiments -- kernels BENCH_pr4.json
 //! cargo run --release -p bench --bin experiments -- comm BENCH_pr5.json
 //! cargo run --release -p bench --bin experiments -- tune TUNE_pr7.table BENCH_pr7.json
+//! cargo run --release -p bench --bin experiments -- serve BENCH_pr8.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune> [more ids… | output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -35,7 +36,12 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune> [mor
   tune measured collective autotuner grid (real executions up to 128
       ranks, priced virtual clocks) -> TUNE_pr7.table + BENCH_pr7.json
       (or the two given paths); fully deterministic, CI byte-compares
-      two runs of both files";
+      two runs of both files
+  serve dynamic-batching inference grid (3 policies x 4 offered loads,
+      CNN on ESB + GRU on DAM, SLO admission) -> BENCH_pr8.json (or
+      given path); fully deterministic, CI byte-compares two runs and
+      the committed artifact; exits non-zero if any latency histogram
+      is empty or a tradeoff contract flag is false";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
 /// to `path` and fails loudly if the registry came back empty.
@@ -130,6 +136,25 @@ fn run_tune(rest: &[String]) -> i32 {
     0
 }
 
+fn run_serve(rest: &[String]) -> i32 {
+    let path = rest.first().map_or("BENCH_pr8.json", String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (json, ok) = bench::serve::serve_report(fast);
+    if let Err(e) = std::fs::write(path, &json) {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    if !ok {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("serving contract flags failed (empty histogram or broken tradeoff); see {path}");
+        return 1;
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote serving grid report to {path}");
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -146,6 +171,9 @@ fn main() {
     }
     if args[0] == "comm" {
         std::process::exit(run_comm(&args[1..]));
+    }
+    if args[0] == "serve" {
+        std::process::exit(run_serve(&args[1..]));
     }
     if args[0] == "tune" {
         std::process::exit(run_tune(&args[1..]));

@@ -7,6 +7,7 @@
 
 pub mod comm;
 pub mod kernels;
+pub mod serve;
 pub mod tune;
 
 use std::fmt::Write as _;

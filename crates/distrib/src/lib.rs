@@ -35,5 +35,3 @@ pub use trainer::{
     evaluate_classifier, evaluate_loss, EpochBreakdown, EpochStats, PhaseBreakdown, StepCost,
     TrainConfig, TrainOutcome, TrainReport, Trainer,
 };
-#[allow(deprecated)]
-pub use trainer::{resume_from_snapshot, train_data_parallel, train_data_parallel_faulted};

@@ -24,9 +24,9 @@
 //!     .run(&dataset, model_fn, opt_fn, loss)?
 //! ```
 //!
-//! The legacy free functions ([`train_data_parallel`],
-//! [`train_data_parallel_faulted`], [`resume_from_snapshot`]) are thin
-//! deprecated forwards onto the builder.
+//! (The pre-PR-3 free functions `train_data_parallel`,
+//! `train_data_parallel_faulted` and `resume_from_snapshot` are gone;
+//! the `removed-api` lint keeps them from reappearing.)
 //!
 //! # Observability
 //!
@@ -473,72 +473,6 @@ impl Trainer {
             self.recorder.as_deref(),
         ))
     }
-}
-
-/// Runs Horovod-style data-parallel training.
-#[deprecated(note = "use Trainer::new(cfg.clone()).run(dataset, model_fn, opt_fn, loss)")]
-pub fn train_data_parallel<M, O, L>(
-    cfg: &TrainConfig,
-    dataset: &Dataset,
-    model_fn: M,
-    opt_fn: O,
-    loss: L,
-) -> TrainReport
-where
-    M: Fn(u64) -> Sequential + Sync,
-    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
-    L: Loss + Sync,
-{
-    match Trainer::new(cfg.clone()).run(dataset, model_fn, opt_fn, loss) {
-        Ok(outcome) => outcome.completed(),
-        Err(_) => unreachable!("no snapshot to validate"),
-    }
-}
-
-/// [`train_data_parallel`] with an optional armed [`FaultPlan`].
-#[deprecated(note = "use Trainer::new(cfg.clone()).fault_opt(fault).run(…)")]
-pub fn train_data_parallel_faulted<M, O, L>(
-    cfg: &TrainConfig,
-    dataset: &Dataset,
-    model_fn: M,
-    opt_fn: O,
-    loss: L,
-    fault: Option<FaultPlan>,
-) -> TrainOutcome
-where
-    M: Fn(u64) -> Sequential + Sync,
-    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
-    L: Loss + Sync,
-{
-    match Trainer::new(cfg.clone())
-        .fault_opt(fault)
-        .run(dataset, model_fn, opt_fn, loss)
-    {
-        Ok(outcome) => outcome,
-        Err(_) => unreachable!("no snapshot to validate"),
-    }
-}
-
-/// Restarts an interrupted run from a full training-state snapshot.
-#[deprecated(note = "use Trainer::new(cfg.clone()).resume(snapshot).fault_opt(fault).run(…)")]
-pub fn resume_from_snapshot<M, O, L>(
-    cfg: &TrainConfig,
-    dataset: &Dataset,
-    model_fn: M,
-    opt_fn: O,
-    loss: L,
-    snapshot: &[u8],
-    fault: Option<FaultPlan>,
-) -> Result<TrainOutcome, CheckpointError>
-where
-    M: Fn(u64) -> Sequential + Sync,
-    O: Fn(f32) -> Box<dyn Optimizer> + Sync,
-    L: Loss + Sync,
-{
-    Trainer::new(cfg.clone())
-        .resume(snapshot)
-        .fault_opt(fault)
-        .run(dataset, model_fn, opt_fn, loss)
 }
 
 /// Decoded snapshot handed to every rank on resume.
@@ -1637,53 +1571,6 @@ mod tests {
             snap.get("trainer.checkpoints{rank=0,run=t}").and_then(|v| v.as_counter()),
             Some(report.checkpoints.len() as u64)
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_forward() {
-        let ds = toy_dataset(96, 8, 4, 37);
-        let cfg = TrainConfig {
-            workers: 2,
-            epochs: 2,
-            batch_per_worker: 16,
-            base_lr: 0.05,
-            lr_scaling: true,
-            warmup_epochs: 1,
-            seed: 37,
-            checkpoint: Some(CheckpointPolicy::every(2)),
-        };
-        let opt_fn = |lr: f32| -> Box<dyn Optimizer> { Box::new(Sgd::new(lr, 0.9, 0.0)) };
-        let report =
-            train_data_parallel(&cfg, &ds, |s| mlp(s, 8, 4), opt_fn, SoftmaxCrossEntropy);
-        let via_builder = Trainer::new(cfg.clone())
-            .run(&ds, |s| mlp(s, 8, 4), opt_fn, SoftmaxCrossEntropy)
-            .expect("no snapshot to validate")
-            .completed();
-        assert_eq!(report.final_params, via_builder.final_params);
-
-        let outcome = train_data_parallel_faulted(
-            &cfg,
-            &ds,
-            |s| mlp(s, 8, 4),
-            opt_fn,
-            SoftmaxCrossEntropy,
-            Some(FaultPlan { rank: 0, at_step: 3 }),
-        );
-        let (_, snapshot) = outcome.interrupted();
-        let snap = snapshot.expect("checkpoint at step 2 precedes the kill at 3");
-        let resumed = resume_from_snapshot(
-            &cfg,
-            &ds,
-            |s| mlp(s, 8, 4),
-            opt_fn,
-            SoftmaxCrossEntropy,
-            &snap,
-            None,
-        )
-        .expect("snapshot validates")
-        .completed();
-        assert_eq!(resumed.final_params, report.final_params, "resume is bit-exact");
     }
 
     #[test]

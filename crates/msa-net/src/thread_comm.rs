@@ -44,8 +44,9 @@ impl std::error::Error for RankKilled {}
 
 /// Everything configurable about a communicator, in one place: the
 /// armed fault plan and the link model traffic statistics are priced
-/// against. This is the single entry point that replaced the
-/// `create`/`create_with_fault` and `run`/`run_with_fault` pairs.
+/// against. [`ThreadComm::create_with`] / [`ThreadComm::run_with`] take
+/// this; the old per-option constructor pairs are gone (the
+/// `removed-api` lint keeps them from reappearing).
 ///
 /// ```
 /// use msa_net::{CommOptions, FaultPlan, ThreadComm};
@@ -175,12 +176,6 @@ impl ThreadComm {
         Self::create_with(n, &CommOptions::new())
     }
 
-    /// Builds `n` endpoints with an optional armed [`FaultPlan`].
-    #[deprecated(note = "use ThreadComm::create_with(n, &CommOptions::new().fault_opt(fault))")]
-    pub fn create_with_fault(n: usize, fault: Option<FaultPlan>) -> Vec<ThreadComm> {
-        Self::create_with(n, &CommOptions::new().fault_opt(fault))
-    }
-
     /// Builds `n` fully-connected endpoints configured by `opts` — the
     /// single constructor everything else forwards to.
     pub fn create_with(n: usize, opts: &CommOptions) -> Vec<ThreadComm> {
@@ -279,17 +274,6 @@ impl ThreadComm {
         F: Fn(&ThreadComm) -> R + Sync,
     {
         Self::run_with(n, &CommOptions::new(), f)
-    }
-
-    /// [`ThreadComm::run`] with an optional armed [`FaultPlan`]; the
-    /// closure observes the fault through [`ThreadComm::poll_fault`].
-    #[deprecated(note = "use ThreadComm::run_with(n, &CommOptions::new().fault_opt(fault), f)")]
-    pub fn run_with_fault<R, F>(n: usize, fault: Option<FaultPlan>, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(&ThreadComm) -> R + Sync,
-    {
-        Self::run_with(n, &CommOptions::new().fault_opt(fault), f)
     }
 
     /// Runs `f` on every rank of a fresh `n`-way communicator configured
@@ -635,13 +619,15 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_names_still_forward() {
-        // The old entry points must keep working until callers migrate.
+    fn fault_options_route_through_comm_options() {
+        // The CommOptions forms are the only entry points (the old
+        // `*_with_fault` names were removed; see the `removed-api` lint).
         let plan = FaultPlan { rank: 0, at_step: 2 };
-        let out = ThreadComm::run_with_fault(2, Some(plan), |c| c.poll_fault(3).is_err());
+        let out = ThreadComm::run_with(2, &CommOptions::new().fault(plan), |c| {
+            c.poll_fault(3).is_err()
+        });
         assert_eq!(out, vec![true, true]);
-        let comms = ThreadComm::create_with_fault(2, None);
+        let comms = ThreadComm::create_with(2, &CommOptions::new().fault_opt(None));
         assert_eq!(comms.len(), 2);
         assert!(comms[0].poll_fault(u64::MAX).is_ok());
     }

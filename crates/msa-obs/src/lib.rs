@@ -425,6 +425,59 @@ impl MetricValue {
             _ => None,
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) of a histogram.
+    ///
+    /// Selects the bucket containing the `q·count`-th observation and
+    /// interpolates linearly inside it, with the bucket's range clamped
+    /// to the observed `[min, max]` — so a histogram whose observations
+    /// all share one bucket of width zero after clamping (e.g. a single
+    /// value) returns that value exactly, `quantile(0.0)` is exactly
+    /// `min` and `quantile(1.0)` is exactly `max`. Closed form at bucket
+    /// boundaries: when `q·count` lands on the last observation of a
+    /// bucket, the result is that bucket's (clamped) upper bound.
+    ///
+    /// The estimate is deterministic — it reads only the bucket counts
+    /// and min/max, which are bit-stable — and `None` for non-histograms
+    /// and for empty histograms.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let MetricValue::Histogram {
+            count,
+            min_bits,
+            max_bits,
+            buckets,
+        } = self
+        else {
+            return None;
+        };
+        if *count == 0 {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile wants q in [0,1], got {q}");
+        let min = f64::from_bits(*min_bits);
+        let max = f64::from_bits(*max_bits);
+        let target = q * (*count as f64);
+        let mut before = 0u64;
+        for (i, n) in buckets {
+            let after = before + n;
+            if after as f64 >= target {
+                let i = *i as usize;
+                // Bucket range, clamped to what was actually observed
+                // (bucket 0 has no finite lower bound; the overflow
+                // bucket has no finite upper bound).
+                let lo = if i == 0 {
+                    min
+                } else {
+                    bucket_upper_bound(i - 1).max(min)
+                };
+                let hi = bucket_upper_bound(i).min(max).max(lo);
+                let frac = ((target - before as f64) / *n as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            before = after;
+        }
+        Some(max)
+    }
 }
 
 /// One `(key, value)` pair of a snapshot.
@@ -465,6 +518,14 @@ impl Snapshot {
             .binary_search_by(|e| e.key.as_str().cmp(key))
             .ok()
             .map(|i| &self.entries[i].value)
+    }
+
+    /// Estimated `q`-quantile of the histogram at `key` — the SLO-math
+    /// entry point (`snapshot.quantile("serve.latency{…}", 0.99)`). See
+    /// [`MetricValue::quantile`]; `None` when the key is missing, not a
+    /// histogram, or empty.
+    pub fn quantile(&self, key: &str, q: f64) -> Option<f64> {
+        self.get(key).and_then(|v| v.quantile(q))
     }
 
     /// Sum of `TimePs` values over all keys starting with `prefix`.
@@ -742,6 +803,67 @@ mod tests {
         assert_eq!(buckets.as_slice(), &[(0, 1), (12, 2), (13, 1), (25, 1)]);
         assert!(bucket_upper_bound(25).is_infinite());
         assert_eq!(bucket_upper_bound(12), 1.0);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_boundaries() {
+        // Two observations sitting exactly on decade bounds: 1.0 fills
+        // bucket 12 (≤1e0), 10.0 fills bucket 13 (≤1e1). The median
+        // target q·count = 1 lands on the last observation of bucket 12,
+        // so the closed form is that bucket's upper bound exactly.
+        let reg = MetricsRegistry::new();
+        reg.observe("h", 1.0);
+        reg.observe("h", 10.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.quantile("h", 0.5), Some(1.0));
+        // q=0 is exactly min, q=1 exactly max (clamped bucket ends).
+        assert_eq!(snap.quantile("h", 0.0), Some(1.0));
+        assert_eq!(snap.quantile("h", 1.0), Some(10.0));
+
+        // A boundary landing exactly on a cumulative count: buckets
+        // {12: 2 obs, 13: 2 obs}, q=0.5 ⇒ target 2 ⇒ frac 1 in bucket 12
+        // ⇒ its upper bound 1e0.
+        let reg = MetricsRegistry::new();
+        for v in [0.5, 1.0, 3.0, 10.0] {
+            reg.observe("h", v);
+        }
+        assert_eq!(reg.snapshot().quantile("h", 0.5), Some(1.0));
+        assert_eq!(reg.snapshot().quantile("h", 1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_clamped_bucket() {
+        // 10 observations, all in bucket 13 (1e0, 1e1]: the bucket range
+        // clamps to the observed [2.0, 10.0], so q=0.25 ⇒ target 2.5 ⇒
+        // frac 0.25 ⇒ 2 + 0.25·(10−2) = 4.0 in closed form.
+        let reg = MetricsRegistry::new();
+        reg.observe("h", 2.0);
+        reg.observe("h", 10.0);
+        for _ in 0..8 {
+            reg.observe("h", 5.0);
+        }
+        assert_eq!(reg.snapshot().quantile("h", 0.25), Some(4.0));
+        // A single value collapses the band: every quantile is exact.
+        let reg = MetricsRegistry::new();
+        reg.observe("one", 3.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(reg.snapshot().quantile("one", q), Some(3.5));
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_the_overflow_bucket_and_rejects_non_histograms() {
+        // Overflow bucket (25) has an infinite upper bound; the observed
+        // max keeps the estimate finite.
+        let reg = MetricsRegistry::new();
+        reg.observe("h", 2e13);
+        reg.observe("h", 5e13);
+        assert_eq!(reg.snapshot().quantile("h", 1.0), Some(5e13));
+        assert_eq!(reg.snapshot().quantile("h", 0.99).map(f64::is_finite), Some(true));
+        // Non-histograms and missing keys answer None.
+        reg.add("c", 1);
+        assert_eq!(reg.snapshot().quantile("c", 0.5), None);
+        assert_eq!(reg.snapshot().quantile("absent", 0.5), None);
     }
 
     #[test]

@@ -37,6 +37,76 @@ impl Placement for AvoidModule<'_> {
     }
 }
 
+/// Admission control for interactive request queues.
+///
+/// The serving tier (`msa-serve`) and any other latency-sensitive queue
+/// price admission the same way this module prices session placement: a
+/// request only joins a queue when the wait it is *predicted* to suffer —
+/// the backlog ahead of it, served at the endpoint's sustained rate —
+/// stays within the SLO. Requests past that point are shed at arrival,
+/// which keeps the queue length (and therefore every admitted request's
+/// latency) bounded no matter how far the offered load exceeds capacity.
+///
+/// All arithmetic is deterministic: the prediction is a single f64
+/// multiply rounded to integer picoseconds, so two identical runs make
+/// bit-identical admit/shed decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Predicted-wait budget: a request predicted to wait longer than
+    /// this is shed instead of enqueued.
+    pub slo: SimTime,
+}
+
+impl AdmissionPolicy {
+    /// Admission against an explicit wait budget.
+    pub fn new(slo: SimTime) -> Self {
+        assert!(slo.as_secs() > 0.0, "admission SLO must be positive");
+        AdmissionPolicy { slo }
+    }
+
+    /// The interactive-computing default: this module's 10 s
+    /// "feels interactive" threshold (see [`InteractiveReport::within_10s`]).
+    pub fn interactive() -> Self {
+        Self::new(SimTime::from_secs(10.0))
+    }
+
+    /// Predicted wait, in integer picoseconds, for a request joining a
+    /// queue with `backlog` requests ahead of it, served at a sustained
+    /// `service_rate_rps` requests/second.
+    pub fn predicted_wait_ps(backlog: u64, service_rate_rps: f64) -> u64 {
+        assert!(
+            service_rate_rps > 0.0 && service_rate_rps.is_finite(),
+            "service rate must be positive and finite, got {service_rate_rps}"
+        );
+        (backlog as f64 / service_rate_rps * 1e12).round() as u64
+    }
+
+    /// The SLO as integer picoseconds (the unit admission compares in).
+    pub fn slo_ps(&self) -> u64 {
+        (self.slo.as_secs() * 1e12).round() as u64
+    }
+
+    /// True when a request arriving behind `backlog` queued requests
+    /// should be admitted.
+    pub fn admit(&self, backlog: u64, service_rate_rps: f64) -> bool {
+        Self::predicted_wait_ps(backlog, service_rate_rps) <= self.slo_ps()
+    }
+
+    /// Largest backlog the policy will still admit behind — the queue
+    /// length bound admission enforces at `service_rate_rps`.
+    pub fn max_backlog(&self, service_rate_rps: f64) -> u64 {
+        let exact = self.slo.as_secs() * service_rate_rps;
+        let cap = exact.floor() as u64;
+        // `floor` under-counts when slo·rate is exactly representable
+        // (e.g. 10 s × 100 rps = 1000): check the boundary explicitly.
+        if Self::predicted_wait_ps(cap + 1, service_rate_rps) <= self.slo_ps() {
+            cap + 1
+        } else {
+            cap
+        }
+    }
+}
+
 /// Interactive session statistics for one scenario.
 #[derive(Debug, Clone)]
 pub struct InteractiveReport {
@@ -192,6 +262,33 @@ fn summarize(report: &crate::scheduler::ScheduleReport, n_batch: usize) -> Inter
 mod tests {
     use super::*;
     use msa_core::system::presets;
+
+    #[test]
+    fn admission_prices_wait_in_closed_form() {
+        // 100 rps, 10 s SLO: backlog 1000 predicts exactly 10 s — the
+        // boundary is admitted; one more request is shed.
+        let p = AdmissionPolicy::interactive();
+        assert_eq!(AdmissionPolicy::predicted_wait_ps(0, 100.0), 0);
+        assert_eq!(
+            AdmissionPolicy::predicted_wait_ps(1000, 100.0),
+            10_000_000_000_000
+        );
+        assert!(p.admit(0, 100.0));
+        assert!(p.admit(1000, 100.0));
+        assert!(!p.admit(1001, 100.0));
+        assert_eq!(p.max_backlog(100.0), 1000);
+    }
+
+    #[test]
+    fn admission_is_deterministic_and_monotone() {
+        let p = AdmissionPolicy::new(SimTime::from_millis(250.0));
+        let decisions: Vec<bool> = (0..64).map(|b| p.admit(b, 37.5)).collect();
+        assert_eq!(decisions, (0..64).map(|b| p.admit(b, 37.5)).collect::<Vec<_>>());
+        // Once shed, always shed at higher backlog.
+        let first_shed = decisions.iter().position(|d| !d).unwrap();
+        assert!(decisions[first_shed..].iter().all(|d| !d));
+        assert_eq!(first_shed as u64, p.max_backlog(37.5) + 1);
+    }
 
     fn busy_trace() -> TraceConfig {
         TraceConfig {

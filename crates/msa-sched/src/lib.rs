@@ -27,7 +27,9 @@ pub mod scheduler;
 pub use coalloc::{schedule_coalloc, CoallocJob, CoallocReport, PartRequest};
 pub use compare::{compare_architectures, ComparisonResult};
 pub use generator::{generate_trace, TraceConfig};
-pub use interactive::{compare_interactive, interactive_sessions, InteractiveReport};
+pub use interactive::{
+    compare_interactive, interactive_sessions, AdmissionPolicy, InteractiveReport,
+};
 pub use job::{JobOutcome, JobSpec};
 pub use policy::{MonolithicPlacement, MsaPlacement, Placement};
 pub use scheduler::{schedule, ScheduleReport};

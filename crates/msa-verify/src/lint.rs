@@ -1,6 +1,6 @@
 //! `msa-lint`: a dependency-free source scanner enforcing workspace
 //! invariants that rustc/clippy cannot express (or that we do not want to
-//! gate on a nightly toolchain). Eight rules:
+//! gate on a nightly toolchain). Nine rules:
 //!
 //! | rule              | scope                     | invariant |
 //! |-------------------|---------------------------|-----------|
@@ -12,6 +12,7 @@
 //! | `alloc-in-kernel` | `tensor/src/{matmul,conv}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`) |
 //! | `ordering-audit`  | everywhere but the audited sync cores (`shims/rayon/src/pool.rs`, `msa-net/src/{barrier,thread_comm,stats}.rs`) and `msa-race` itself | no `Ordering::Relaxed` / `Ordering::AcqRel` in non-test code; weak orderings belong in the msa-race-audited sync cores, anywhere else each use justifies itself with an allow |
 //! | `raw-sync`        | `shims/rayon`, `shims/crossbeam`, `msa-net` | no direct `std::sync::{Mutex, Condvar}` / `std::sync::atomic` imports; concurrency primitives go through the `msa_sync` facade so `--cfg msa_check` builds can instrument them |
+//! | `removed-api`     | every crate (tests included) | the retired entry points (`train_data_parallel`, `train_data_parallel_faulted`, `resume_from_snapshot`, `create_with_fault`, `run_with_fault`) must not reappear; the `Trainer` and `CommOptions` builders are the only surface |
 //!
 //! Findings print as `file:line: rule — message` and the binary exits
 //! nonzero when any survive. A finding is suppressed by a same-line (or
@@ -70,7 +71,20 @@ pub struct Profile {
     pub alloc_in_kernel: bool,
     pub ordering_audit: bool,
     pub raw_sync: bool,
+    pub removed_api: bool,
 }
+
+/// Entry points deleted when their builder replacements landed
+/// (`Trainer` for the distrib free functions, `CommOptions` for the
+/// ThreadComm fault constructors). The `removed-api` rule keeps them
+/// from reappearing anywhere, test code included.
+const REMOVED_APIS: [&str; 5] = [
+    "train_data_parallel",
+    "train_data_parallel_faulted",
+    "resume_from_snapshot",
+    "create_with_fault",
+    "run_with_fault",
+];
 
 impl Profile {
     pub fn strict() -> Self {
@@ -83,6 +97,7 @@ impl Profile {
             alloc_in_kernel: true,
             ordering_audit: true,
             raw_sync: true,
+            removed_api: true,
         }
     }
 
@@ -131,6 +146,7 @@ impl Profile {
             // msa-sync IS the facade; msa-race implements the instrumented
             // types over std. Everyone else in scope routes through them.
             raw_sync: crate_name == "msa-net",
+            removed_api: true,
         }
     }
 
@@ -151,6 +167,7 @@ impl Profile {
             alloc_in_kernel: false,
             ordering_audit: !is_sync_core,
             raw_sync: matches!(shim_name, "rayon" | "crossbeam"),
+            removed_api: false,
         }
     }
 }
@@ -769,6 +786,38 @@ pub fn lint_source(file: &str, source: &str, profile: &Profile) -> Vec<Finding> 
             }
         }
 
+        // Applies in test regions too: nothing may keep a retired name
+        // compiling, not even a test.
+        if profile.removed_api {
+            for needle in REMOVED_APIS {
+                for (pos, _) in line.match_indices(needle) {
+                    // Ident-boundary guard on both sides, so
+                    // `train_data_parallel` never fires inside
+                    // `train_data_parallel_faulted` (the longer needle
+                    // reports that one) and a name like
+                    // `my_run_with_fault2` never fires at all.
+                    let end = pos + needle.len();
+                    let bounded = (pos == 0
+                        || !is_ident_char(line.as_bytes()[pos - 1] as char))
+                        && (end >= line.len()
+                            || !is_ident_char(line.as_bytes()[end] as char));
+                    if bounded {
+                        push(
+                            &mut findings,
+                            &mut used_allows,
+                            idx,
+                            "removed-api",
+                            format!(
+                                "`{needle}` was removed; use the `Trainer` builder \
+                                 (distrib) or `ThreadComm::{{create,run}}_with` + \
+                                 `CommOptions` (msa-net) instead"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
         if profile.thread_spawn && line.contains("thread::spawn") {
             push(
                 &mut findings,
@@ -1040,6 +1089,34 @@ mod tests {
     }
 
     #[test]
+    fn removed_api_names_detected() {
+        let src = "fn f(cfg: &TrainConfig) { distrib::train_data_parallel(cfg); }\n";
+        assert_eq!(rules(src), vec!["removed-api"]);
+        // The longer retired name reports once, not once per prefix.
+        let src = "fn f() { distrib::train_data_parallel_faulted(); }\n";
+        assert_eq!(rules(src), vec!["removed-api"]);
+        assert_eq!(
+            rules("fn f() { ThreadComm::create_with_fault(4, plan); }\n"),
+            vec!["removed-api"]
+        );
+        assert_eq!(
+            rules("fn f() { comm.resume_from_snapshot(); }\n"),
+            vec!["removed-api"]
+        );
+        // Ident boundaries: supersets of a retired name never fire.
+        assert!(rules("fn my_run_with_fault2() {}\n").is_empty());
+        assert!(rules("fn f() { resume_from_snapshot_v2(); }\n").is_empty());
+        // The builder replacements are the sanctioned surface.
+        assert!(rules("fn f() { ThreadComm::run_with(4, &opts, g); }\n").is_empty());
+    }
+
+    #[test]
+    fn removed_api_applies_in_test_regions() {
+        let src = "#[test]\nfn t() { distrib::train_data_parallel(&cfg); }\n";
+        assert_eq!(rules(src), vec!["removed-api"]);
+    }
+
+    #[test]
     fn float_eq_detected() {
         assert_eq!(rules("fn f(x: f64) -> bool { x == 0.0 }\n"), vec!["float-eq"]);
         assert_eq!(rules("fn f(x: f64) -> bool { 1.5e-3 != x }\n"), vec!["float-eq"]);
@@ -1196,6 +1273,14 @@ mod tests {
         assert!(p.alloc_in_kernel);
         let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/thread_comm.rs"));
         assert!(!p.alloc_in_kernel);
+        // Every crate bans the retired entry points; shims reproduce
+        // external APIs and are out of scope.
+        let p = Profile::for_crate("distrib", Path::new("crates/distrib/src/trainer.rs"));
+        assert!(p.removed_api);
+        let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/thread_comm.rs"));
+        assert!(p.removed_api);
+        let p = Profile::for_shim("rayon", Path::new("shims/rayon/src/lib.rs"));
+        assert!(!p.removed_api);
     }
 
     #[test]

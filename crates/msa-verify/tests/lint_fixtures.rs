@@ -240,6 +240,31 @@ fn facade_imports_are_clean() {
 }
 
 #[test]
+fn removed_api_call_is_flagged() {
+    let stdout = findings_for(
+        "removedapi",
+        "pub fn f(cfg: &distrib::TrainConfig) {\n    distrib::train_data_parallel(cfg);\n}\n",
+    );
+    assert!(stdout.contains("fixture.rs:2: removed-api"), "{stdout}");
+}
+
+#[test]
+fn removed_api_is_flagged_even_in_tests() {
+    // Unlike the style rules, test regions get no exemption: a test
+    // calling a retired name would keep it compiling forever.
+    let stdout = findings_for(
+        "removedapitest",
+        concat!(
+            "#[test]\n",
+            "fn t() {\n",
+            "    let _ = ThreadComm::run_with_fault(4, plan, |c| c.rank());\n",
+            "}\n",
+        ),
+    );
+    assert!(stdout.contains("fixture.rs:3: removed-api"), "{stdout}");
+}
+
+#[test]
 fn unjustified_allow_does_not_suppress() {
     let stdout = findings_for(
         "badallow",
@@ -270,6 +295,11 @@ fn one_fixture_per_banned_pattern_all_reported_together() {
             "alloc.rs",
             "pub fn f(n: usize) { for _ in 0..n { let _ = vec![0u8; n]; } }\n",
             "alloc-in-kernel",
+        ),
+        (
+            "removed.rs",
+            "pub fn f(c: &mut Comm) { c.resume_from_snapshot(); }\n",
+            "removed-api",
         ),
     ];
     for (name, source, _) in &cases {

@@ -16,7 +16,9 @@ pub use msa_core;
 pub use msa_net;
 pub use msa_obs;
 pub use msa_sched;
+pub use msa_serve;
 pub use msa_storage;
+pub use msa_verify;
 pub use nn;
 pub use qa;
 pub use tensor;
@@ -35,6 +37,8 @@ mod tests {
         let _ = crate::msa_obs::MetricsRegistry::new();
         let _ = crate::msa_storage::Nam::deep_prototype();
         let _ = crate::msa_sched::TraceConfig::default();
+        let _ = crate::msa_serve::BatchPolicy::none();
+        let _ = crate::msa_verify::Profile::strict();
         let _ = crate::tensor::Tensor::zeros(&[1]);
         let _ = crate::nn::Adam::new(1e-4);
         let _ = crate::distrib::TrainConfig::default();
