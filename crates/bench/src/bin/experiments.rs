@@ -8,9 +8,10 @@
 //! cargo run --release -p bench --bin experiments -- comm BENCH_pr5.json
 //! cargo run --release -p bench --bin experiments -- tune TUNE_pr7.table BENCH_pr7.json
 //! cargo run --release -p bench --bin experiments -- serve BENCH_pr8.json
+//! cargo run --release -p bench --bin experiments -- codec TUNE_pr9.table BENCH_pr9.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve> [more ids… | output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve|codec> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -41,7 +42,13 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve
       CNN on ESB + GRU on DAM, SLO admission) -> BENCH_pr8.json (or
       given path); fully deterministic, CI byte-compares two runs and
       the committed artifact; exits non-zero if any latency histogram
-      is empty or a tradeoff contract flag is false";
+      is empty or a tradeoff contract flag is false
+  codec gradient wire codecs (dense f32 vs bf16 vs 1%-top-k): measured
+      allreduce grid up to 128 ranks on the priced clock, fused trainer
+      step times, recalibrated 96/128-GPU scaling and convergence
+      parity -> TUNE_pr9.table + BENCH_pr9.json (or the two given
+      paths); fully deterministic, CI byte-compares two runs of both
+      files and greps the contract flags";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
 /// to `path` and fails loudly if the registry came back empty.
@@ -136,6 +143,28 @@ fn run_tune(rest: &[String]) -> i32 {
     0
 }
 
+/// Runs the `codec` subcommand (PR 9): measures the gradient wire
+/// codecs and writes the extended decision table (first path, default
+/// `TUNE_pr9.table`) and the codec report (second path, default
+/// `BENCH_pr9.json`). Both files are deterministic; `MSA_BENCH_FAST=1`
+/// shrinks the wire grid.
+fn run_codec(rest: &[String]) -> i32 {
+    let table_path = rest.first().map_or("TUNE_pr9.table", String::as_str);
+    let json_path = rest.get(1).map_or("BENCH_pr9.json", String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (table, json) = bench::codec::codec_report(fast);
+    for (path, body) in [(table_path, &table), (json_path, &json)] {
+        if let Err(e) = std::fs::write(path, body) {
+            // lint: allow(print) -- CLI diagnostic on stderr
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote extended decision table to {table_path} and codec report to {json_path}");
+    0
+}
+
 fn run_serve(rest: &[String]) -> i32 {
     let path = rest.first().map_or("BENCH_pr8.json", String::as_str);
     let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
@@ -177,6 +206,9 @@ fn main() {
     }
     if args[0] == "tune" {
         std::process::exit(run_tune(&args[1..]));
+    }
+    if args[0] == "codec" {
+        std::process::exit(run_codec(&args[1..]));
     }
     for id in &args {
         // lint: allow(print) -- CLI report output

@@ -5,6 +5,7 @@
 //! Each function returns its report as a `String` so integration tests
 //! can assert on the numbers; the `experiments` binary prints them.
 
+pub mod codec;
 pub mod comm;
 pub mod kernels;
 pub mod serve;

@@ -7,14 +7,24 @@
 //!
 //! * [`top_k`] / [`densify`] — the sparsification primitives;
 //! * [`TopKCompressor`] — per-rank compressor with an error-feedback
-//!   residual;
+//!   residual and **reusable wire slabs**: selection scratch, the
+//!   [`WirePair`] payload and the gather buffer all live on the
+//!   compressor, so a steady-state [`sparse_allreduce_mean`] performs
+//!   zero heap allocation (the PR 5 discipline; `msa-lint`'s
+//!   alloc-in-kernel rule covers this file);
 //! * [`sparse_allreduce_mean`] — a real sparse gradient exchange over any
-//!   [`Communicator`] (allgather of (index, value) pairs, since sparse
-//!   sums don't fit the dense ring);
+//!   [`Communicator`] (equal-block allgather of [`WirePair`]s, since
+//!   sparse sums don't fit the dense ring);
 //! * a cost comparison hook: the communicated volume per step drops from
 //!   `4·n` bytes to `8·k`.
+//!
+//! Wire format: each entry ships as a [`WirePair`] — two `f32` transport
+//! words holding the index bits and the value bits. Index words can
+//! alias signalling NaNs, so they must only ever cross memcpy transports
+//! (`ThreadComm` qualifies; a bits-preserved round-trip test in
+//! `msa_net::codec` pins it) and never touch an arithmetic path.
 
-use msa_net::Communicator;
+use msa_net::{Communicator, WirePair};
 
 /// Indices and values of the `k` largest-magnitude entries (indices
 /// ascending). Degenerate requests — `k == 0` or an empty gradient —
@@ -49,43 +59,111 @@ pub fn densify(len: usize, indices: &[u32], values: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Per-rank compressor state: the error-feedback residual.
+/// Per-rank compressor state: the error-feedback residual plus the
+/// reusable selection/wire slabs (all sized once, so the per-step
+/// exchange never allocates after warm-up).
 pub struct TopKCompressor {
     residual: Vec<f32>,
     /// Fraction of entries communicated per step (0 < ratio ≤ 1).
     ratio: f64,
+    /// Selection scratch: the 0..n index permutation `top_k` partially
+    /// sorts. Sized once at construction.
+    idx_scratch: Vec<u32>,
+    /// The selected indices of the current step, ascending.
+    chosen: Vec<u32>,
+    /// The current step's wire payload: `2·k` [`WirePair`] words.
+    payload: Vec<f32>,
+    /// Gather buffer for every rank's payload (`p · 2k` words); grows on
+    /// the first exchange (when the communicator size is first seen) and
+    /// is reused verbatim afterwards.
+    gathered: Vec<f32>,
 }
 
 impl TopKCompressor {
     pub fn new(param_len: usize, ratio: f64) -> Self {
         assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
-        TopKCompressor {
+        let mut c = TopKCompressor {
             residual: vec![0.0; param_len],
             ratio,
-        }
+            idx_scratch: Vec::with_capacity(param_len),
+            chosen: Vec::new(),
+            payload: Vec::new(),
+            gathered: Vec::new(),
+        };
+        let k = c.k().min(param_len);
+        c.chosen.reserve(k);
+        c.payload.reserve(2 * k);
+        c
     }
 
-    /// Number of entries sent per step.
+    /// Number of entries sent per step: `max(1, ⌈ratio · n⌉)`.
+    ///
+    /// The `.max(1)` **floor** is deliberate: a `ratio` near zero on a
+    /// short gradient still ships one entry per step — error feedback
+    /// needs a nonzero channel or the residual would grow forever. Two
+    /// boundary consequences, pinned by regression tests:
+    /// * `bytes_per_step()` never reports below 8 bytes, however tiny
+    ///   the ratio;
+    /// * for an *empty* parameter vector `k()` still reports the floor
+    ///   of 1, but the actual selection (and the wire payload) is empty
+    ///   — `k()` is the configured channel width, not the payload size.
+    ///
+    /// `msa_net::codec::sparse_k` mirrors this formula (clamped to `n`)
+    /// so wire-byte pricing agrees with the real payload.
     pub fn k(&self) -> usize {
         ((self.residual.len() as f64 * self.ratio).ceil() as usize).max(1)
     }
 
-    /// Compresses `grad` (adding the carried residual first) and records
-    /// the new residual. Returns the sparse representation.
-    pub fn compress(&mut self, grad: &[f32]) -> (Vec<u32>, Vec<f32>) {
+    /// Adds `grad` into the residual, selects the top-k by magnitude into
+    /// `chosen`/`payload` (zeroing those residual entries), using only
+    /// the pre-sized slabs — no heap allocation in steady state.
+    fn select_into_payload(&mut self, grad: &[f32]) {
         assert_eq!(grad.len(), self.residual.len(), "gradient length changed");
         // Error feedback: what we failed to send last time rides along.
         for (r, &g) in self.residual.iter_mut().zip(grad) {
             *r += g;
         }
-        let (idx, vals) = top_k(&self.residual, self.k());
-        for &i in &idx {
-            self.residual[i as usize] = 0.0;
+        let len = self.residual.len();
+        let k = self.k().min(len);
+        self.chosen.clear();
+        self.payload.clear();
+        if k == 0 {
+            return;
         }
-        (idx, vals)
+        let residual = &mut self.residual;
+        let idx = &mut self.idx_scratch;
+        idx.clear();
+        idx.extend(0..len as u32);
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            residual[b as usize].abs().total_cmp(&residual[a as usize].abs())
+        });
+        self.chosen.extend_from_slice(&idx[..k]);
+        self.chosen.sort_unstable();
+        self.payload.resize(2 * k, 0.0);
+        for (slot, &i) in self.payload.chunks_exact_mut(2).zip(self.chosen.iter()) {
+            WirePair::new(i, residual[i as usize]).to_words(slot);
+            residual[i as usize] = 0.0;
+        }
+    }
+
+    /// Compresses `grad` (adding the carried residual first) and records
+    /// the new residual. Returns the sparse representation.
+    ///
+    /// This is the allocating convenience API (fresh `Vec`s per call);
+    /// the hot exchange path is [`sparse_allreduce_mean`], which stays
+    /// on the internal slabs.
+    pub fn compress(&mut self, grad: &[f32]) -> (Vec<u32>, Vec<f32>) {
+        self.select_into_payload(grad);
+        let vals = self
+            .payload
+            .chunks_exact(2)
+            .map(|w| WirePair::from_words(w).value())
+            .collect();
+        (self.chosen.clone(), vals)
     }
 
     /// Bytes this rank ships per step (4-byte index + 4-byte value each).
+    /// Subject to the [`TopKCompressor::k`] floor: never below 8.
     pub fn bytes_per_step(&self) -> usize {
         self.k() * 8
     }
@@ -99,40 +177,38 @@ impl TopKCompressor {
 /// Sparse gradient averaging: every rank contributes its top-k (with its
 /// own compressor), the union of contributions is summed and divided by
 /// the rank count, and the dense average is written back into `grad`.
+///
+/// Note the division by `comm.size()` happens *here* — unlike the dense
+/// paths, where the collective sums and the caller divides.
 pub fn sparse_allreduce_mean<C: Communicator + ?Sized>(
     comm: &C,
     grad: &mut [f32],
     compressor: &mut TopKCompressor,
 ) {
-    let (idx, vals) = compressor.compress(grad);
-    // Encode as interleaved f32 pairs (index bits preserved via to_bits
-    // would break on summation paths, so we allgather raw pairs).
-    let mut payload = Vec::with_capacity(idx.len() * 2);
-    for (&i, &v) in idx.iter().zip(&vals) {
-        payload.push(f32::from_bits(i));
-        payload.push(v);
-    }
+    compressor.select_into_payload(grad);
     // Equal-block exchange: `k()` depends only on (length, ratio), which
     // every rank shares, so the payload length is uniform and the flat
-    // slice-path allgather applies — no per-rank `Vec` churn on pooled
-    // transports (the seed's `allgather` allocated one `Vec` per rank per
-    // call).
-    let mut all = vec![0.0f32; comm.size() * payload.len()];
-    comm.allgather_into(&payload, &mut all);
+    // slice-path allgather applies. Payload and gather buffer are the
+    // compressor's slabs — zero allocation per step once `gathered` has
+    // seen this communicator size (`resize` to an unchanged length is
+    // free).
+    let need = comm.size() * compressor.payload.len();
+    compressor.gathered.resize(need, 0.0);
+    comm.allgather_into(&compressor.payload, &mut compressor.gathered);
     let n = comm.size() as f32;
     grad.iter_mut().for_each(|g| *g = 0.0);
     // Rank blocks land in ascending order, so walking flat pairs keeps
     // the seed's accumulation order exactly.
-    for pair in all.chunks_exact(2) {
-        let i = pair[0].to_bits() as usize;
-        grad[i] += pair[1] / n;
+    for pair_words in compressor.gathered.chunks_exact(2) {
+        let pair = WirePair::from_words(pair_words);
+        grad[pair.index as usize] += pair.value() / n;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msa_net::ThreadComm;
+    use msa_net::{GradCodec, ThreadComm};
 
     #[test]
     fn top_k_picks_largest_magnitudes() {
@@ -150,6 +226,18 @@ mod tests {
         let (idx, vals) = top_k(&g, 10);
         assert_eq!(idx.len(), 2);
         assert_eq!(vals, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn compressor_compress_matches_top_k_primitives() {
+        // The slab path must produce exactly what the primitive path
+        // produced before the rework.
+        let grad = [0.3f32, -2.5, 0.01, 4.0, -4.0, 0.7];
+        let mut c = TopKCompressor::new(grad.len(), 0.5);
+        let (idx, vals) = c.compress(&grad);
+        let (want_idx, want_vals) = top_k(&grad, 3);
+        assert_eq!(idx, want_idx);
+        assert_eq!(vals, want_vals);
     }
 
     #[test]
@@ -200,11 +288,89 @@ mod tests {
     }
 
     #[test]
+    fn sparse_allreduce_steady_state_allocates_nothing() {
+        // The slabs must stop moving after the first exchange: same
+        // pointer, same capacity, for ten further steps.
+        ThreadComm::run(4, |comm| {
+            let dim = 64;
+            let mut c = TopKCompressor::new(dim, 0.1);
+            let mut grad: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+            sparse_allreduce_mean(comm, &mut grad, &mut c);
+            let fingerprints = (
+                c.idx_scratch.as_ptr(),
+                c.idx_scratch.capacity(),
+                c.chosen.as_ptr(),
+                c.chosen.capacity(),
+                c.payload.as_ptr(),
+                c.payload.capacity(),
+                c.gathered.as_ptr(),
+                c.gathered.capacity(),
+            );
+            for s in 0..10 {
+                grad.iter_mut().enumerate().for_each(|(i, g)| {
+                    *g = ((i + s) as f32).cos();
+                });
+                sparse_allreduce_mean(comm, &mut grad, &mut c);
+                let now = (
+                    c.idx_scratch.as_ptr(),
+                    c.idx_scratch.capacity(),
+                    c.chosen.as_ptr(),
+                    c.chosen.capacity(),
+                    c.payload.as_ptr(),
+                    c.payload.capacity(),
+                    c.gathered.as_ptr(),
+                    c.gathered.capacity(),
+                );
+                assert_eq!(now, fingerprints, "slab moved at step {s}");
+            }
+        });
+    }
+
+    #[test]
     fn compression_cuts_communication_volume() {
         let c = TopKCompressor::new(25_600_000, 0.01); // ResNet-50 size, 1%
         assert_eq!(c.dense_bytes(), 102_400_000);
         assert_eq!(c.bytes_per_step(), 256_000 * 8);
         assert!(c.bytes_per_step() < c.dense_bytes() / 49);
+    }
+
+    #[test]
+    fn k_floor_pins_bytes_per_step_for_degenerate_ratios() {
+        // ratio → 0 on a short gradient: the documented floor of one
+        // entry (8 bytes), not zero.
+        let c = TopKCompressor::new(10, 1e-9);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.bytes_per_step(), 8);
+        // A ratio that rounds up: ceil(3 · 0.5) = 2 entries.
+        let c = TopKCompressor::new(3, 0.5);
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.bytes_per_step(), 16);
+        // Empty parameter vector: k() reports the configured floor but
+        // the selection — and therefore the wire payload — is empty.
+        let mut c = TopKCompressor::new(0, 0.5);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.bytes_per_step(), 8);
+        let (idx, vals) = c.compress(&[]);
+        assert!(idx.is_empty() && vals.is_empty());
+    }
+
+    #[test]
+    fn wire_words_agree_with_grad_codec_pricing() {
+        // The codec layer prices what the compressor actually ships: for
+        // every (len, ratio), payload words == GradCodec wire words.
+        for len in [1usize, 5, 64, 1000] {
+            for ratio in [0.01, 0.1, 0.5, 1.0] {
+                let mut c = TopKCompressor::new(len, ratio);
+                let grad: Vec<f32> = (0..len).map(|i| i as f32 + 0.5).collect();
+                c.select_into_payload(&grad);
+                let codec = GradCodec::SparseTopK { ratio };
+                assert_eq!(
+                    c.payload.len(),
+                    codec.wire_words(len),
+                    "len {len} ratio {ratio}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,8 +25,10 @@
 //!
 //! [`Trainer`]: crate::trainer::Trainer
 
+use crate::compress::{sparse_allreduce_mean, TopKCompressor};
+use msa_net::codec::bf16_allreduce_with;
 use msa_net::tune::{tuned_allreduce_with, DecisionTable};
-use msa_net::{collectives, Arena, PointToPoint};
+use msa_net::{collectives, Arena, Communicator, GradCodec, PointToPoint};
 use nn::Layer;
 use std::sync::Arc;
 
@@ -69,6 +71,53 @@ impl ExchangeDispatch {
         match self {
             ExchangeDispatch::Pipeline => collectives::pipeline_allreduce_with(c, seg, scratch),
             ExchangeDispatch::Tuned(table) => tuned_allreduce_with(c, seg, scratch, table),
+        }
+    }
+
+    /// Allreduce-**mean** of one bucket segment under a wire codec.
+    ///
+    /// * [`GradCodec::Dense32`] — the configured dispatch
+    ///   ([`ExchangeDispatch::reduce_bucket`]) followed by the division
+    ///   by `size()`: exactly the seed sequence, bit-identical to the
+    ///   pre-codec trainer.
+    /// * [`GradCodec::Bf16`] — the bf16-wire pipeline chain (half the
+    ///   wire bytes; partition-invariant like the dense chain, so
+    ///   bit-equality across bucket sizes is preserved), then the same
+    ///   division.
+    /// * [`GradCodec::SparseTopK`] — [`sparse_allreduce_mean`] with this
+    ///   bucket's error-feedback `compressor` (required; the residual is
+    ///   per-bucket state). The sparse path divides internally.
+    ///
+    /// The division lives here so every codec leaves the segment holding
+    /// the *mean* — callers never divide.
+    pub fn reduce_bucket_codec<C: Communicator + ?Sized>(
+        &self,
+        c: &C,
+        seg: &mut [f32],
+        scratch: &mut Arena,
+        codec: GradCodec,
+        compressor: Option<&mut TopKCompressor>,
+    ) {
+        let n = c.size() as f32;
+        match codec {
+            GradCodec::Dense32 => {
+                self.reduce_bucket(c, seg, scratch);
+                for x in seg.iter_mut() {
+                    *x /= n;
+                }
+            }
+            GradCodec::Bf16 => {
+                bf16_allreduce_with(c, seg, scratch);
+                for x in seg.iter_mut() {
+                    *x /= n;
+                }
+            }
+            GradCodec::SparseTopK { .. } => {
+                let comp = compressor
+                    // lint: allow(unwrap) -- the trainer builds one compressor per bucket whenever the sparse codec is selected
+                    .expect("SparseTopK needs this bucket's error-feedback compressor");
+                sparse_allreduce_mean(c, seg, comp);
+            }
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use msa_core::hw::GpuSpec;
 use msa_core::SimTime;
-use msa_net::{CollectiveAlgo, DecisionTable, LinkParams};
+use msa_net::{CollectiveAlgo, DecisionTable, GradCodec, LinkParams};
 use std::sync::Arc;
 
 /// Fraction of peak tensor throughput a real training step sustains.
@@ -43,6 +43,13 @@ pub struct ScalingModel {
     /// nearest cell's measured/modeled calibration ratio — recalibrating
     /// the scaling curve against real executed traffic.
     pub tuning: Option<Arc<DecisionTable>>,
+    /// Gradient wire codec the modeled exchange ships. `Dense32` (the
+    /// default) reproduces the fp32 curves unchanged. Other codecs scale
+    /// the comm term: by the decision table's *measured* codec/dense
+    /// ratio at the nearest cell when one is attached (see
+    /// [`DecisionTable::codec_ratio`]), or by the analytic encoded/dense
+    /// byte ratio otherwise.
+    pub codec: GradCodec,
 }
 
 /// One point of a scaling curve.
@@ -69,6 +76,7 @@ impl ScalingModel {
             batch_per_gpu: 64,
             algo: CollectiveAlgo::Ring,
             tuning: None,
+            codec: GradCodec::Dense32,
         }
     }
 
@@ -76,6 +84,13 @@ impl ScalingModel {
     /// `tuning` field.
     pub fn tuned(mut self, table: Arc<DecisionTable>) -> Self {
         self.tuning = Some(table);
+        self
+    }
+
+    /// Selects the gradient wire codec (builder style); see the `codec`
+    /// field.
+    pub fn codec(mut self, codec: GradCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -92,15 +107,31 @@ impl ScalingModel {
     /// attached — the measured winner's prediction on this model's link,
     /// scaled by the table's measured/modeled calibration.
     pub fn comm_time(&self, gpus: usize) -> SimTime {
-        match &self.tuning {
+        let bytes = self.grad_bytes as usize;
+        let dense = match &self.tuning {
             None => self.algo.allreduce_time(gpus, self.grad_bytes, self.link),
             Some(table) => {
-                let bytes = self.grad_bytes as usize;
                 let pick = table.select(gpus, bytes);
                 pick.model_time(gpus, self.grad_bytes, self.link, table.topo())
                     * table.calibration(gpus, bytes)
             }
+        };
+        if self.codec == GradCodec::Dense32 {
+            return dense;
         }
+        // Prefer the measured codec/dense time ratio from the nearest
+        // table cell; fall back to the analytic wire-byte ratio (a lower
+        // bound: it ignores the per-hop encode cost the measured ratio
+        // captures).
+        let ratio = self
+            .tuning
+            .as_ref()
+            .and_then(|t| t.codec_ratio(gpus, bytes, self.codec))
+            .unwrap_or_else(|| {
+                let n = (bytes / 4).max(1);
+                self.codec.wire_bytes(n) as f64 / (n * 4) as f64
+            });
+        dense * ratio
     }
 
     /// One synchronous data-parallel step on `gpus` GPUs: compute plus
@@ -252,6 +283,50 @@ mod tests {
         // software fallback is priced instead.
         let fallback = CollectiveAlgo::Ring.allreduce_time(97, m.grad_bytes, m.link) * 0.5;
         assert_eq!(m.comm_time(97), fallback);
+    }
+
+    #[test]
+    fn bf16_codec_halves_modeled_comm_at_scale() {
+        // Without a table the comm term scales by the analytic wire-byte
+        // ratio: bf16 ships exactly half the bytes, so at the 96/128-GPU
+        // Sedona points the recalibrated comm time is exactly half — and
+        // the step time strictly improves wherever comm is visible.
+        let dense = v100_model();
+        let bf16 = v100_model().codec(GradCodec::Bf16);
+        for gpus in [8usize, 32, 96, 128] {
+            assert_eq!(bf16.comm_time(gpus), dense.comm_time(gpus) * 0.5);
+            assert!(bf16.step_time(gpus) < dense.step_time(gpus));
+            assert!(bf16.epoch_time(gpus) < dense.epoch_time(gpus));
+        }
+        // Dense32 is the identity — the fp32 curves are untouched.
+        let explicit = v100_model().codec(GradCodec::Dense32);
+        assert_eq!(explicit.comm_time(96), dense.comm_time(96));
+    }
+
+    #[test]
+    fn measured_codec_cells_override_the_analytic_byte_ratio() {
+        // A table carrying a measured `ccell` recalibrates with the real
+        // codec/dense time ratio (0.6 here — slower than the 0.5 byte
+        // ratio because encode work rides on the measured clock).
+        let text = "msa-tune-v1\n\
+                    inter 1.1 12.5\n\
+                    intra 4 0.3 300\n\
+                    cell ranks=96 bytes=102400000 algo=ring fallback=ring \
+                    measured_ps=1000000 modeled_ps=1000000\n\
+                    ccell ranks=96 bytes=102400000 codec=bf16 \
+                    measured_ps=600000 dense_ps=1000000 \
+                    wire_bytes=51200000 dense_bytes=102400000\n";
+        let table = Arc::new(DecisionTable::parse(text).expect("table with ccell parses"));
+        let dense = v100_model().tuned(Arc::clone(&table));
+        let bf16 = v100_model().tuned(Arc::clone(&table)).codec(GradCodec::Bf16);
+        assert_eq!(bf16.comm_time(96), dense.comm_time(96) * 0.6);
+        // A codec with no matching ccell falls back to its byte ratio.
+        let sparse = v100_model()
+            .tuned(table)
+            .codec(GradCodec::SparseTopK { ratio: 0.01 });
+        let n = 25_600_000usize;
+        let want = GradCodec::SparseTopK { ratio: 0.01 }.wire_bytes(n) as f64 / (n * 4) as f64;
+        assert_eq!(sparse.comm_time(96), dense.comm_time(96) * want);
     }
 
     #[test]

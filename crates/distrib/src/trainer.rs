@@ -21,6 +21,7 @@
 //!     .resume(&snapshot)   // optional restart from a checkpoint
 //!     .recorder(registry)  // optional metrics sink (msa-obs)
 //!     .cost(step_cost)     // optional analytic step-cost model
+//!     .codec(GradCodec::Bf16) // optional gradient wire codec
 //!     .run(&dataset, model_fn, opt_fn, loss)?
 //! ```
 //!
@@ -57,11 +58,12 @@
 //! **bit-identical** to the run that was never killed.
 
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
+use crate::compress::TopKCompressor;
 use crate::fusion::{ExchangeDispatch, FusionBuffer, FusionConfig};
 use data::Dataset;
 use msa_core::SimTime;
 use msa_net::{
-    CollectiveAlgo, CommOptions, Communicator, FaultPlan, LinkParams, RankKilled,
+    CollectiveAlgo, CommOptions, Communicator, FaultPlan, GradCodec, LinkParams, RankKilled,
     ThreadComm,
 };
 use msa_obs::{key, MetricsRegistry, Recorder, VirtualClock};
@@ -337,6 +339,7 @@ pub struct Trainer {
     cost: StepCost,
     fusion: FusionConfig,
     dispatch: ExchangeDispatch,
+    codec: GradCodec,
     tag: Option<String>,
 }
 
@@ -350,6 +353,7 @@ impl std::fmt::Debug for Trainer {
             .field("cost", &self.cost)
             .field("fusion", &self.fusion)
             .field("dispatch", &self.dispatch)
+            .field("codec", &self.codec)
             .field("tag", &self.tag)
             .finish()
     }
@@ -367,6 +371,7 @@ impl Trainer {
             cost: StepCost::default(),
             fusion: FusionConfig::default(),
             dispatch: ExchangeDispatch::default(),
+            codec: GradCodec::default(),
             tag: None,
         }
     }
@@ -430,6 +435,29 @@ impl Trainer {
         self
     }
 
+    /// Selects the gradient **wire codec** for the per-bucket allreduce
+    /// (see [`msa_net::GradCodec`]):
+    ///
+    /// * [`GradCodec::Dense32`] (default) — full-precision f32; every
+    ///   exchange byte and every result bit is identical to the seed
+    ///   trainer.
+    /// * [`GradCodec::Bf16`] — deterministic round-to-nearest-even bf16
+    ///   on the wire; halves allreduce bytes exactly. Gradients are
+    ///   quantised, so training results differ from dense in the last
+    ///   bits but converge to the same quality (asserted by the
+    ///   `experiments codec` parity runs).
+    /// * [`GradCodec::SparseTopK`] — top-k magnitude selection with
+    ///   error feedback, exchanged as typed (index, value) pairs over an
+    ///   equal-block allgather.
+    ///
+    /// The codec changes only the exchange: bucketing, overlap and the
+    /// optimiser are untouched, and the priced clock sees the *encoded*
+    /// byte count.
+    pub fn codec(mut self, codec: GradCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
     /// Labels every metric this run records with `run=<tag>`, so several
     /// runs can share one registry without colliding.
     pub fn tag(mut self, tag: impl Into<String>) -> Self {
@@ -469,6 +497,7 @@ impl Trainer {
             &self.cost,
             self.fusion,
             &self.dispatch,
+            self.codec,
             self.tag.as_deref(),
             self.recorder.as_deref(),
         ))
@@ -554,6 +583,7 @@ fn run_engine<M, O, L>(
     cost: &StepCost,
     fusion: FusionConfig,
     dispatch: &ExchangeDispatch,
+    codec: GradCodec,
     tag: Option<&str>,
     recorder: Option<&MetricsRegistry>,
 ) -> TrainOutcome
@@ -569,7 +599,8 @@ where
     let opts = CommOptions::new().fault_opt(fault).link(cost.link);
     let results = ThreadComm::run_with(cfg.workers, &opts, |comm| {
         train_rank(
-            comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, dispatch, tag,
+            comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, dispatch, codec,
+            tag,
         )
     });
 
@@ -609,6 +640,7 @@ fn train_rank<M, O, L>(
     cost: &StepCost,
     fusion_cfg: FusionConfig,
     dispatch: &ExchangeDispatch,
+    codec: GradCodec,
     tag: Option<&str>,
 ) -> RankRun
 where
@@ -679,6 +711,18 @@ where
     );
     let mut flat = vec![0.0f32; n_params];
     let mut comm_arena = msa_net::Arena::new();
+    // Sparse codecs carry per-bucket error-feedback residuals (the
+    // residual is positional, so it must live with its bucket). Dense
+    // and bf16 need none. Slabs inside each compressor are warm after
+    // the first step, like the arena.
+    let mut compressors: Vec<TopKCompressor> = match codec {
+        GradCodec::SparseTopK { ratio } => fusion
+            .buckets()
+            .iter()
+            .map(|b| TopKCompressor::new(b.len(), ratio))
+            .collect(),
+        _ => Vec::new(),
+    };
 
     for epoch in start_epoch..cfg.epochs {
         let lr = effective_lr(cfg, epoch);
@@ -762,16 +806,21 @@ where
                     &mut flat,
                     &mut comm_arena,
                     dispatch,
+                    codec,
+                    &mut compressors,
                 );
             } else {
                 model.backward(&grad);
                 nn::param::copy_grads_into(&model.params(), &mut flat);
-                for b in fusion.buckets().iter().rev() {
+                for (bidx, b) in fusion.buckets().iter().enumerate().rev() {
                     let seg = &mut flat[b.start..b.end];
-                    dispatch.reduce_bucket(comm, seg, &mut comm_arena);
-                    for x in seg.iter_mut() {
-                        *x /= size as f32;
-                    }
+                    dispatch.reduce_bucket_codec(
+                        comm,
+                        seg,
+                        &mut comm_arena,
+                        codec,
+                        compressors.get_mut(bidx),
+                    );
                 }
                 model.set_grads(&flat);
             }
@@ -796,7 +845,10 @@ where
             let mut finish: u64 = 0;
             let mut comm_ps: u64 = 0;
             for b in fusion.buckets().iter().rev() {
-                let bytes = (b.len() * size_of::<f32>()) as u64;
+                // Price what actually crosses the wire: the codec's
+                // encoded byte count. For Dense32 this is exactly
+                // `len × 4` — the seed pricing, bit for bit.
+                let bytes = codec.wire_bytes(b.len()) as u64;
                 let a_ps = msa_obs::simtime_to_ps(cost.allreduce_time(size, bytes));
                 let ready = if fusion_cfg.overlap {
                     c_ps - t_bwd
@@ -935,6 +987,7 @@ where
 /// overlap). Cross-rank safety is the pipeline schedule's: msa-verify
 /// model-checks the bucketed schedule under `Bounded(1)` channels, and
 /// `ThreadComm`'s credit pools are `Bounded(2)`.
+#[allow(clippy::too_many_arguments)]
 fn exchange_overlapped(
     comm: &ThreadComm,
     model: &mut Sequential,
@@ -943,9 +996,9 @@ fn exchange_overlapped(
     flat: &mut [f32],
     scratch: &mut msa_net::Arena,
     dispatch: &ExchangeDispatch,
+    codec: GradCodec,
+    compressors: &mut [TopKCompressor],
 ) {
-    use msa_net::PointToPoint as _;
-    let n = comm.size() as f32;
     let nb = fusion.buckets().len();
     let (tx, rx) = crossbeam::channel::unbounded();
     let mut done: Vec<Option<Vec<f32>>> = (0..nb).map(|_| None).collect();
@@ -963,10 +1016,13 @@ fn exchange_overlapped(
         },
         || {
             while let Ok((bidx, mut slab)) = rx.recv() {
-                dispatch.reduce_bucket(comm, &mut slab, scratch);
-                for x in slab.iter_mut() {
-                    *x /= n;
-                }
+                dispatch.reduce_bucket_codec(
+                    comm,
+                    &mut slab,
+                    scratch,
+                    codec,
+                    compressors.get_mut(bidx),
+                );
                 done[bidx] = Some(slab);
             }
         },

@@ -14,6 +14,7 @@
 //!   large-scale scaling experiments (E3, E8).
 
 pub mod barrier;
+pub mod codec;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
@@ -25,6 +26,7 @@ pub mod thread_comm;
 pub mod tune;
 
 pub use barrier::SenseBarrier;
+pub use codec::{bf16_allreduce, bf16_allreduce_with, GradCodec, WirePair};
 pub use scratch::Arena;
 pub use comm::{Communicator, PointToPoint};
 pub use hierarchical::{hierarchical_allreduce, hierarchical_cost, GroupComm};

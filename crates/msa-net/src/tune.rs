@@ -25,6 +25,7 @@
 //! (`Bounded(2)` on the slice path) is not part of the measurement. That
 //! matches the α–β models it replaces and keeps the clock monotone.
 
+use crate::codec::{bf16_allreduce_with, sparse_k, GradCodec, WirePair};
 use crate::collectives;
 use crate::comm::PointToPoint;
 use crate::cost::{CollectiveAlgo, LinkParams, Topology};
@@ -248,6 +249,110 @@ pub fn measure(
     }
 }
 
+/// One measured execution of one wire codec in one (ranks, dense-bytes)
+/// cell: the same chain-style exchange run with dense f32, packed bf16
+/// or sparse top-k payloads, timed on the priced Lamport clock. The
+/// wire counters see the *encoded* slice lengths, so `bytes_total` is
+/// the measured (not computed) encoded traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecMeasurement {
+    /// The wire codec that ran.
+    pub codec: GradCodec,
+    /// Critical-path virtual time of the executed schedule.
+    pub measured_ps: u64,
+    /// Messages summed over every rank.
+    pub msgs_total: u64,
+    /// Encoded payload bytes summed over every rank.
+    pub bytes_total: u64,
+}
+
+/// Executes the gradient exchange for `codec` at (`ranks`, `bytes` of
+/// dense f32 payload) and reads the priced clocks and wire counters.
+///
+/// Dense and bf16 run the partition-invariant pipeline chain — the same
+/// schedule shape, so the measured ratio isolates the codec's byte
+/// reduction. Sparse runs the equal-block allgather the real
+/// `sparse_allreduce_mean` uses, shipping `2k` [`WirePair`] words per
+/// rank (a synthetic first-`k` selection: the wire schedule — and hence
+/// the priced time — depends only on `k`, never on *which* entries the
+/// compressor picked). Correctness is part of the measurement: all-ones
+/// inputs must reduce to exactly `ranks` (bf16-exact for integers up to
+/// 256, so bit-exact at every grid size up to p = 128).
+pub fn measure_codec(
+    codec: GradCodec,
+    ranks: usize,
+    bytes: usize,
+    link: LinkParams,
+    topo: Topology,
+) -> CodecMeasurement {
+    assert!(ranks >= 1);
+    assert!(
+        bytes >= 4 && bytes.is_multiple_of(4),
+        "payload must be a whole number of f32s"
+    );
+    let len = bytes / 4;
+    let opts = CommOptions::new().link(link).topo(topo);
+    let per_rank = ThreadComm::run_with(ranks, &opts, move |c| {
+        let mut scratch = Arena::new();
+        let want = ranks as f32;
+        match codec {
+            GradCodec::Dense32 => {
+                let mut buf = vec![1.0f32; len];
+                collectives::pipeline_allreduce_with(c, &mut buf, &mut scratch);
+                assert!(
+                    buf.iter().all(|v| v.to_bits() == want.to_bits()),
+                    "dense32 chain at p={ranks} produced a wrong sum"
+                );
+            }
+            GradCodec::Bf16 => {
+                let mut buf = vec![1.0f32; len];
+                bf16_allreduce_with(c, &mut buf, &mut scratch);
+                assert!(
+                    buf.iter().all(|v| v.to_bits() == want.to_bits()),
+                    "bf16 chain at p={ranks} produced a wrong sum"
+                );
+            }
+            GradCodec::SparseTopK { ratio } => {
+                let k = sparse_k(len, ratio);
+                let mut payload = vec![0.0f32; 2 * k];
+                for i in 0..k {
+                    WirePair::new(i as u32, 1.0).to_words(&mut payload[2 * i..2 * i + 2]);
+                }
+                let mut all = vec![0.0f32; ranks * payload.len()];
+                collectives::ring_allgather_into(c, &payload, &mut all);
+                let mut buf = vec![0.0f32; len];
+                for pair_words in all.chunks_exact(2) {
+                    let pair = WirePair::from_words(pair_words);
+                    buf[pair.index as usize] += pair.value();
+                }
+                assert!(
+                    buf[..k].iter().all(|v| v.to_bits() == want.to_bits())
+                        && buf[k..].iter().all(|v| *v == 0.0),
+                    "sparse exchange at p={ranks} produced a wrong sum"
+                );
+            }
+        }
+        // lint: allow(unwrap) -- ThreadComm endpoints always carry stats
+        let stats = c.stats().expect("ThreadComm always keeps stats");
+        let t = stats.export().total();
+        (t.msgs_sent, t.bytes_sent, stats.vtime_ps())
+    });
+    let msgs_total: u64 = per_rank.iter().map(|(m, _, _)| *m).sum();
+    let bytes_total: u64 = per_rank.iter().map(|(_, b, _)| *b).sum();
+    let measured_ps = per_rank.iter().map(|(_, _, v)| *v).max().unwrap_or(0);
+    assert!(
+        ranks == 1 || (msgs_total > 0 && measured_ps > 0),
+        "phantom-zero wire row: codec {} at p={ranks} recorded no traffic",
+        codec.name()
+    );
+    CodecMeasurement {
+        codec,
+        measured_ps,
+        msgs_total,
+        bytes_total,
+    }
+}
+
 /// The fixed candidate list for one cell: the three software algorithms,
 /// plus the topology's hierarchical schedule where it can run.
 pub fn candidates(ranks: usize, topo: Topology) -> Vec<TunedAlgo> {
@@ -381,6 +486,7 @@ impl TuneReport {
             inter: self.link,
             topo: self.topo,
             entries,
+            codec_entries: Vec::new(),
         }
     }
 }
@@ -401,6 +507,29 @@ pub struct TableEntry {
     pub measured_ps: u64,
     /// The winner's α–β model prediction (calibration denominator).
     pub modeled_ps: u64,
+}
+
+/// One persisted codec measurement: at (ranks, dense bytes), `codec`
+/// took `measured_ps` against the dense chain's `dense_ps`, shipping
+/// `wire_bytes` of `dense_bytes` total traffic. Serialized as `ccell`
+/// lines after the algorithm cells — old tables simply have none, so
+/// the `msa-tune-v1` byte format is unchanged for codec-free grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecEntry {
+    /// Communicator size the cell was measured at.
+    pub ranks: usize,
+    /// Dense payload bytes the cell was measured at.
+    pub bytes: usize,
+    /// The wire codec measured.
+    pub codec: GradCodec,
+    /// The codec exchange's measured critical path.
+    pub measured_ps: u64,
+    /// The dense f32 chain's measured critical path in the same cell.
+    pub dense_ps: u64,
+    /// Encoded bytes summed over every rank (measured wire counters).
+    pub wire_bytes: u64,
+    /// Dense bytes summed over every rank in the reference run.
+    pub dense_bytes: u64,
 }
 
 /// Errors from [`DecisionTable::parse`].
@@ -435,6 +564,7 @@ pub struct DecisionTable {
     inter: LinkParams,
     topo: Topology,
     entries: Vec<TableEntry>,
+    codec_entries: Vec<CodecEntry>,
 }
 
 impl DecisionTable {
@@ -451,6 +581,17 @@ impl DecisionTable {
     /// All entries, in grid order.
     pub fn entries(&self) -> &[TableEntry] {
         &self.entries
+    }
+
+    /// All codec entries, in grid order (empty for codec-free grids).
+    pub fn codec_entries(&self) -> &[CodecEntry] {
+        &self.codec_entries
+    }
+
+    /// Appends a measured codec cell (kept in insertion order, which is
+    /// grid order — the serialization preserves it).
+    pub fn add_codec_entry(&mut self, entry: CodecEntry) {
+        self.codec_entries.push(entry);
     }
 
     /// The nearest measured cell to (`ranks`, `bytes`): minimize the rank
@@ -507,6 +648,42 @@ impl DecisionTable {
         }
     }
 
+    /// Measured codec/dense time ratio of the nearest codec cell for
+    /// `codec` — what `distrib::perf` scales its comm prediction by when
+    /// the trainer ships encoded gradients. `None` when the table holds
+    /// no measurement for this codec (callers fall back to the analytic
+    /// wire-byte ratio). Nearest-cell metric matches [`entry_for`]
+    /// (rank distance, then log₂-byte, then byte distance; first entry
+    /// wins ties), restricted to entries of the same codec.
+    ///
+    /// [`entry_for`]: DecisionTable::entry_for
+    pub fn codec_ratio(&self, ranks: usize, bytes: usize, codec: GradCodec) -> Option<f64> {
+        fn absdiff(a: usize, b: usize) -> u64 {
+            (a as u64).abs_diff(b as u64)
+        }
+        fn log2(v: usize) -> u32 {
+            v.max(1).ilog2()
+        }
+        let key = |e: &CodecEntry| {
+            (
+                absdiff(e.ranks, ranks),
+                log2(e.bytes).abs_diff(log2(bytes)),
+                absdiff(e.bytes, bytes),
+            )
+        };
+        let mut best: Option<&CodecEntry> = None;
+        for e in &self.codec_entries {
+            if e.codec != codec {
+                continue;
+            }
+            if best.is_none_or(|b| key(e) < key(b)) {
+                best = Some(e);
+            }
+        }
+        best.filter(|e| e.dense_ps > 0)
+            .map(|e| e.measured_ps as f64 / e.dense_ps as f64)
+    }
+
     /// Serializes to the `msa-tune-v1` text format. Byte-stable: entry
     /// order is preserved, floats print via Rust's shortest-round-trip
     /// formatter, everything else is integers — two identical grid runs
@@ -532,6 +709,18 @@ impl DecisionTable {
                 e.modeled_ps
             ));
         }
+        for e in &self.codec_entries {
+            out.push_str(&format!(
+                "ccell ranks={} bytes={} codec={} measured_ps={} dense_ps={} wire_bytes={} dense_bytes={}\n",
+                e.ranks,
+                e.bytes,
+                e.codec.name(),
+                e.measured_ps,
+                e.dense_ps,
+                e.wire_bytes,
+                e.dense_bytes
+            ));
+        }
         out
     }
 
@@ -546,6 +735,7 @@ impl DecisionTable {
         let mut inter = None;
         let mut topo = None;
         let mut entries = Vec::new();
+        let mut codec_entries = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
@@ -587,6 +777,20 @@ impl DecisionTable {
                         modeled_ps,
                     });
                 }
+                Some("ccell") if fields.len() == 8 => {
+                    let get = |i: usize, k: &str| -> Result<&str, TableParseError> {
+                        fields[i].strip_prefix(k).ok_or_else(|| bad(line))
+                    };
+                    codec_entries.push(CodecEntry {
+                        ranks: get(1, "ranks=")?.parse().map_err(|_| bad(line))?,
+                        bytes: get(2, "bytes=")?.parse().map_err(|_| bad(line))?,
+                        codec: GradCodec::parse(get(3, "codec=")?).ok_or_else(|| bad(line))?,
+                        measured_ps: get(4, "measured_ps=")?.parse().map_err(|_| bad(line))?,
+                        dense_ps: get(5, "dense_ps=")?.parse().map_err(|_| bad(line))?,
+                        wire_bytes: get(6, "wire_bytes=")?.parse().map_err(|_| bad(line))?,
+                        dense_bytes: get(7, "dense_bytes=")?.parse().map_err(|_| bad(line))?,
+                    });
+                }
                 _ => return Err(bad(line)),
             }
         }
@@ -596,6 +800,7 @@ impl DecisionTable {
                 inter,
                 topo,
                 entries,
+                codec_entries,
             }),
             _ => Err(TableParseError::BadHeader),
         }
@@ -739,6 +944,106 @@ mod tests {
                 assert_eq!(buf, &expected, "p={p}");
             }
         }
+    }
+
+    #[test]
+    fn codec_measurement_is_deterministic_and_encoded_bytes_shrink() {
+        let link = LinkParams::extoll();
+        let topo = Topology::esb(4);
+        let (p, bytes) = (8, 64 * KIB);
+        let dense = measure_codec(GradCodec::Dense32, p, bytes, link, topo);
+        for codec in [
+            GradCodec::Bf16,
+            GradCodec::SparseTopK { ratio: 0.01 },
+        ] {
+            let a = measure_codec(codec, p, bytes, link, topo);
+            let b = measure_codec(codec, p, bytes, link, topo);
+            assert_eq!(a, b, "{} measurement must be reproducible", codec.name());
+            assert!(a.msgs_total > 0 && a.measured_ps > 0);
+            assert!(
+                a.bytes_total < dense.bytes_total,
+                "{} must ship fewer bytes than dense",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bf16_wire_counters_are_exactly_half_of_dense() {
+        let link = LinkParams::extoll();
+        let topo = Topology::esb(4);
+        let dense = measure_codec(GradCodec::Dense32, 4, 64 * KIB, link, topo);
+        let bf16 = measure_codec(GradCodec::Bf16, 4, 64 * KIB, link, topo);
+        assert_eq!(bf16.bytes_total * 2, dense.bytes_total);
+        // Same chain schedule → same message count, half the priced load.
+        assert_eq!(bf16.msgs_total, dense.msgs_total);
+        assert!(bf16.measured_ps < dense.measured_ps);
+    }
+
+    #[test]
+    fn extended_table_round_trips_byte_identically() {
+        let mut table = smoke_table();
+        let plain_text = table.to_table_string();
+        table.add_codec_entry(CodecEntry {
+            ranks: 8,
+            bytes: 64 * KIB,
+            codec: GradCodec::Bf16,
+            measured_ps: 500,
+            dense_ps: 1000,
+            wire_bytes: 32 * KIB as u64,
+            dense_bytes: 64 * KIB as u64,
+        });
+        table.add_codec_entry(CodecEntry {
+            ranks: 8,
+            bytes: 64 * KIB,
+            codec: GradCodec::SparseTopK { ratio: 0.01 },
+            measured_ps: 100,
+            dense_ps: 1000,
+            wire_bytes: 1344,
+            dense_bytes: 64 * KIB as u64,
+        });
+        let text = table.to_table_string();
+        // ccell lines append after the cells: a codec-free table's bytes
+        // are untouched (the committed TUNE_pr7.table stays cmp-stable).
+        assert!(text.starts_with(&plain_text));
+        let parsed = DecisionTable::parse(&text).expect("own output must parse");
+        assert_eq!(parsed, table);
+        assert_eq!(parsed.to_table_string(), text);
+        // Old-format text parses to an empty codec section.
+        let old = DecisionTable::parse(&plain_text).expect("codec-free text still parses");
+        assert!(old.codec_entries().is_empty());
+    }
+
+    #[test]
+    fn codec_ratio_selects_nearest_matching_cell() {
+        let mut table = smoke_table();
+        assert_eq!(table.codec_ratio(8, 64 * KIB, GradCodec::Bf16), None);
+        table.add_codec_entry(CodecEntry {
+            ranks: 8,
+            bytes: 64 * KIB,
+            codec: GradCodec::Bf16,
+            measured_ps: 600,
+            dense_ps: 1000,
+            wire_bytes: 1,
+            dense_bytes: 2,
+        });
+        table.add_codec_entry(CodecEntry {
+            ranks: 96,
+            bytes: 256 * KIB,
+            codec: GradCodec::Bf16,
+            measured_ps: 900,
+            dense_ps: 1000,
+            wire_bytes: 1,
+            dense_bytes: 2,
+        });
+        assert_eq!(table.codec_ratio(8, 64 * KIB, GradCodec::Bf16), Some(0.6));
+        // Off-grid sizes snap to the nearest measured codec cell.
+        assert_eq!(table.codec_ratio(128, MIB, GradCodec::Bf16), Some(0.9));
+        // Other codecs stay unmeasured.
+        assert_eq!(
+            table.codec_ratio(8, 64 * KIB, GradCodec::SparseTopK { ratio: 0.01 }),
+            None
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! | `float-eq`        | `ml`, `nn`, `tensor`      | no `==` / `!=` against float literals; numeric code compares with tolerances |
 //! | `pub-event-field` | `msa-core/src/event.rs`   | event structs keep fields private so invariants hold at construction |
 //! | `print`           | every crate               | no `println!`/`eprintln!` in non-test library code; observability goes through `msa-obs` recorders. CLI binaries justify each print with an allow |
-//! | `alloc-in-kernel` | `tensor/src/{matmul,conv}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`) |
+//! | `alloc-in-kernel` | `tensor/src/{matmul,conv,codec}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs`, `distrib/src/compress.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`, compressor slabs) |
 //! | `ordering-audit`  | everywhere but the audited sync cores (`shims/rayon/src/pool.rs`, `msa-net/src/{barrier,thread_comm,stats}.rs`) and `msa-race` itself | no `Ordering::Relaxed` / `Ordering::AcqRel` in non-test code; weak orderings belong in the msa-race-audited sync cores, anywhere else each use justifies itself with an allow |
 //! | `raw-sync`        | `shims/rayon`, `shims/crossbeam`, `msa-net` | no direct `std::sync::{Mutex, Condvar}` / `std::sync::atomic` imports; concurrency primitives go through the `msa_sync` facade so `--cfg msa_check` builds can instrument them |
 //! | `removed-api`     | every crate (tests included) | the retired entry points (`train_data_parallel`, `train_data_parallel_faulted`, `resume_from_snapshot`, `create_with_fault`, `run_with_fault`) must not reappear; the `Trainer` and `CommOptions` builders are the only surface |
@@ -110,12 +110,16 @@ impl Profile {
         let is_kernel_file = match crate_name {
             "tensor" => file
                 .file_name()
-                .is_some_and(|n| n == "matmul.rs" || n == "conv.rs"),
+                .is_some_and(|n| n == "matmul.rs" || n == "conv.rs" || n == "codec.rs"),
             "nn" => file.file_name().is_some_and(|n| n == "conv.rs"),
             // The collectives are the gradient-exchange inner loop: a
             // per-round allocation there multiplies by rounds × steps.
             // Warm-up growth paths justify themselves with allows.
             "msa-net" => file.file_name().is_some_and(|n| n == "collectives.rs"),
+            // The sparse wire codec runs once per bucket per step; its
+            // selection/payload/gather slabs live on the compressor so
+            // steady-state exchanges allocate nothing.
+            "distrib" => file.file_name().is_some_and(|n| n == "compress.rs"),
             _ => false,
         };
         // The sync cores whose weak orderings the msa-race checker audits
@@ -1261,6 +1265,8 @@ mod tests {
         assert!(p.alloc_in_kernel);
         let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/conv.rs"));
         assert!(p.alloc_in_kernel);
+        let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/codec.rs"));
+        assert!(p.alloc_in_kernel);
         let p = Profile::for_crate("tensor", Path::new("crates/tensor/src/lib.rs"));
         assert!(!p.alloc_in_kernel);
         let p = Profile::for_crate("nn", Path::new("crates/nn/src/conv.rs"));
@@ -1272,6 +1278,12 @@ mod tests {
         let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/collectives.rs"));
         assert!(p.alloc_in_kernel);
         let p = Profile::for_crate("msa-net", Path::new("crates/msa-net/src/thread_comm.rs"));
+        assert!(!p.alloc_in_kernel);
+        // The sparse wire codec's per-step path is slab-backed; the rest
+        // of distrib stays out of the allocation rule's scope.
+        let p = Profile::for_crate("distrib", Path::new("crates/distrib/src/compress.rs"));
+        assert!(p.alloc_in_kernel);
+        let p = Profile::for_crate("distrib", Path::new("crates/distrib/src/fusion.rs"));
         assert!(!p.alloc_in_kernel);
         // Every crate bans the retired entry points; shims reproduce
         // external APIs and are out of scope.

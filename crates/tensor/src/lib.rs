@@ -11,6 +11,7 @@
 //! above a size threshold, so small test tensors don't pay the fork-join
 //! overhead.
 
+pub mod codec;
 pub mod conv;
 pub mod matmul;
 pub mod ops;
@@ -20,6 +21,7 @@ pub mod shape_ops;
 #[allow(clippy::module_inception)]
 pub mod tensor;
 
+pub use codec::{bf16_to_f32, bf16_words, decode_bf16_into, encode_bf16_into, f32_to_bf16_rtne};
 pub use matmul::{Blocking, PackedT};
 pub use rng::Rng;
 pub use scratch::{Arena, Frame};
