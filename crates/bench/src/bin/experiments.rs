@@ -9,9 +9,10 @@
 //! cargo run --release -p bench --bin experiments -- tune TUNE_pr7.table BENCH_pr7.json
 //! cargo run --release -p bench --bin experiments -- serve BENCH_pr8.json
 //! cargo run --release -p bench --bin experiments -- codec TUNE_pr9.table BENCH_pr9.json
+//! cargo run --release -p bench --bin experiments -- pipeline BENCH_pr10.json
 //! ```
 
-const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve|codec> [more ids… | output path]
+const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve|codec|pipeline> [more ids… | output path]
   e1  Table I + system inventories
   e2  workload/module affinity (Fig. 2)
   e3  distributed DL scaling + accuracy (Fig. 3)
@@ -48,7 +49,14 @@ const USAGE: &str = "usage: experiments <e1..e14|all|obs|kernels|comm|tune|serve
       step times, recalibrated 96/128-GPU scaling and convergence
       parity -> TUNE_pr9.table + BENCH_pr9.json (or the two given
       paths); fully deterministic, CI byte-compares two runs of both
-      files and greps the contract flags";
+      files and greps the contract flags
+  pipeline [--counters] overlapped input pipeline: prefetch-vs-eager
+      bit-identity grid under all three codecs, modeled stage-overlap
+      depth sweep, slab-pool zero-alloc proof, 96/128-GPU input-bound
+      projection and the measured stage-bound epoch speedup
+      -> BENCH_pr10.json (or given path); --counters emits only the
+      deterministic sections (CI byte-compares two runs); exits
+      non-zero if any contract flag is false";
 
 /// Runs the `obs` subcommand: dumps the deterministic metrics snapshot
 /// to `path` and fails loudly if the registry came back empty.
@@ -165,6 +173,49 @@ fn run_codec(rest: &[String]) -> i32 {
     0
 }
 
+/// Runs the `pipeline` subcommand (PR 10): the overlapped input
+/// pipeline report. `--counters` writes the deterministic sections only
+/// (CI byte-compares two runs); otherwise the full report with the
+/// measured stage-bound epoch timing goes to the given path (default
+/// `BENCH_pr10.json`). `MSA_BENCH_FAST=1` shrinks the grids. Exits
+/// non-zero if any contract flag reads false.
+fn run_pipeline(rest: &[String]) -> i32 {
+    let counters_only = rest.first().is_some_and(|a| a == "--counters");
+    let path_arg = if counters_only { rest.get(1) } else { rest.first() };
+    let default = if counters_only {
+        "BENCH_pr10_counters.json"
+    } else {
+        "BENCH_pr10.json"
+    };
+    let path = path_arg.map_or(default, String::as_str);
+    let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
+    let (counters, full) = bench::pipeline::pipeline_report(fast);
+    let body = if counters_only { counters } else { full };
+    if let Err(e) = std::fs::write(path, &body) {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("cannot write {path}: {e}");
+        return 1;
+    }
+    let broken = [
+        "\"bit_identical\": false",
+        "\"wall_invariant\": false",
+        "\"partition_invariant\": false",
+        "\"prefetch_bit_identical\": false",
+        "\"overlap_saves_time\": false",
+        "\"zero_steady_state_allocs\": false",
+        "\"input_bound_at_scale\": false",
+        "\"real_epoch_speedup_ge_1_2x\": false",
+    ];
+    if broken.iter().any(|f| body.contains(f)) {
+        // lint: allow(print) -- CLI diagnostic on stderr
+        eprintln!("pipeline contract flags failed; see {path}");
+        return 1;
+    }
+    // lint: allow(print) -- CLI status output
+    println!("wrote pipeline report to {path}");
+    0
+}
+
 fn run_serve(rest: &[String]) -> i32 {
     let path = rest.first().map_or("BENCH_pr8.json", String::as_str);
     let fast = std::env::var("MSA_BENCH_FAST").is_ok_and(|v| v == "1");
@@ -209,6 +260,9 @@ fn main() {
     }
     if args[0] == "codec" {
         std::process::exit(run_codec(&args[1..]));
+    }
+    if args[0] == "pipeline" {
+        std::process::exit(run_pipeline(&args[1..]));
     }
     for id in &args {
         // lint: allow(print) -- CLI report output

@@ -8,6 +8,7 @@
 pub mod codec;
 pub mod comm;
 pub mod kernels;
+pub mod pipeline;
 pub mod serve;
 pub mod tune;
 

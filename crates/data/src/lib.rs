@@ -22,6 +22,7 @@
 pub mod bigearth;
 pub mod cxr;
 pub mod icu;
+pub mod stream;
 
 use tensor::{Rng, Tensor};
 
@@ -79,31 +80,13 @@ impl Dataset {
     }
 
     /// Yields `(x, y)` mini-batches in a fresh shuffled order.
+    ///
+    /// Thin wrapper over [`stream::BatchStream`], kept for tests and
+    /// small callers; the trainer hot path pulls from the stream lazily
+    /// instead of materializing the whole epoch up front.
     pub fn batches(&self, batch_size: usize, rng: &mut Rng) -> Vec<(Tensor, Tensor)> {
-        assert!(batch_size > 0);
-        let n = self.len();
-        let perm = rng.permutation(n);
-        let item: Vec<usize> = self.x.shape()[1..].to_vec();
-        let item_len: usize = item.iter().product();
-        let y_item: usize = self.y.shape()[1..].iter().product::<usize>().max(1);
-        perm.chunks(batch_size)
-            .map(|idxs| {
-                let mut bx = Vec::with_capacity(idxs.len() * item_len);
-                let mut by = Vec::with_capacity(idxs.len() * y_item);
-                for &i in idxs {
-                    bx.extend_from_slice(&self.x.data()[i * item_len..(i + 1) * item_len]);
-                    by.extend_from_slice(&self.y.data()[i * y_item..(i + 1) * y_item]);
-                }
-                let mut bx_shape = vec![idxs.len()];
-                bx_shape.extend_from_slice(&item);
-                let mut by_shape = vec![idxs.len()];
-                by_shape.extend_from_slice(&self.y.shape()[1..]);
-                (
-                    Tensor::from_vec(bx, &bx_shape),
-                    Tensor::from_vec(by, &by_shape),
-                )
-            })
-            .collect()
+        let mut s = stream::BatchStream::new(self, batch_size, rng);
+        std::iter::from_fn(|| s.next_batch()).collect()
     }
 }
 

@@ -30,7 +30,7 @@ pub use checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, Traine
 pub use compress::{sparse_allreduce_mean, TopKCompressor};
 pub use fusion::{ExchangeDispatch, FusionBuffer, FusionConfig};
 pub use modular::{MlCampaign, WorkflowCost};
-pub use perf::{ScalingModel, ScalingPoint};
+pub use perf::{ScalingModel, ScalingPoint, StageTerm};
 pub use trainer::{
     evaluate_classifier, evaluate_loss, EpochBreakdown, EpochStats, PhaseBreakdown, StepCost,
     TrainConfig, TrainOutcome, TrainReport, Trainer,

@@ -11,6 +11,7 @@
 use msa_core::hw::GpuSpec;
 use msa_core::SimTime;
 use msa_net::{CollectiveAlgo, DecisionTable, GradCodec, LinkParams};
+use msa_storage::ParallelFs;
 use std::sync::Arc;
 
 /// Fraction of peak tensor throughput a real training step sustains.
@@ -21,6 +22,66 @@ const SUSTAINED_FRACTION: f64 = 0.15;
 /// Fraction of the compute time behind which Horovod's tensor-fusion
 /// pipeline can hide allreduce traffic (backprop overlaps communication).
 const OVERLAP_FRACTION: f64 = 0.3;
+
+/// Input-staging term of the scaling model: every rank reads its
+/// mini-batch from a shared filesystem whose aggregate bandwidth is
+/// divided among the ranks, capped per rank by its own client link.
+///
+/// The term is what turns the 96/128-GPU projections honest: compute and
+/// allreduce both shrink (or stay flat) per step as GPUs are added, but
+/// the staging source is *shared* — past the GPU count where
+/// `shared_bw_gbs / gpus` drops below the per-rank step demand, the
+/// input pipeline becomes the bottleneck and speedup saturates no matter
+/// how good the interconnect is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTerm {
+    /// Bytes each training sample stages from storage.
+    pub bytes_per_sample: f64,
+    /// Aggregate bandwidth of the shared staging source in GB/s
+    /// (all OSTs of the parallel FS together).
+    pub shared_bw_gbs: f64,
+    /// Per-rank cap in GB/s: one client's striped read path — the most
+    /// a single rank can pull even with the backend to itself.
+    pub per_rank_cap_gbs: f64,
+    /// Whether a depth-k prefetcher overlaps staging with the step
+    /// (the PR-10 input pipeline). Overlapped staging hides behind
+    /// compute+comm until it becomes the bottleneck; serial staging
+    /// adds to every step.
+    pub prefetch: bool,
+}
+
+impl StageTerm {
+    /// Stage term backed by a [`ParallelFs`]: aggregate backend bandwidth
+    /// shared across ranks, each rank capped at one client's striped
+    /// read path. Prefetch defaults on (the shipped pipeline).
+    pub fn from_pfs(fs: &ParallelFs, bytes_per_sample: f64) -> Self {
+        StageTerm {
+            bytes_per_sample,
+            shared_bw_gbs: fs.aggregate_bw_gbs(),
+            per_rank_cap_gbs: fs.single_client_bw_gbs(),
+            prefetch: true,
+        }
+    }
+
+    /// BigEarthNet-style staging: one 120×120 patch with 12 Sentinel-2
+    /// bands as fp32 is ≈0.69 MB on the wire.
+    pub fn bigearth_from_pfs(fs: &ParallelFs) -> Self {
+        Self::from_pfs(fs, 120.0 * 120.0 * 12.0 * 4.0)
+    }
+
+    /// Toggles prefetch (builder style).
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Bandwidth one of `gpus` concurrently staging ranks sees: its fair
+    /// share of the backend, capped by its own client link.
+    pub fn per_rank_bw_gbs(&self, gpus: usize) -> f64 {
+        assert!(gpus >= 1, "stage term needs at least one rank");
+        self.per_rank_cap_gbs.min(self.shared_bw_gbs / gpus as f64)
+    }
+}
 
 /// A distributed-training workload on a given GPU + interconnect.
 #[derive(Debug, Clone)]
@@ -50,6 +111,11 @@ pub struct ScalingModel {
     /// [`DecisionTable::codec_ratio`]), or by the analytic encoded/dense
     /// byte ratio otherwise.
     pub codec: GradCodec,
+    /// Input-staging term. `None` (the default) reproduces the
+    /// compute+comm curves unchanged — staging is assumed free, the
+    /// pre-PR-10 model. When present, [`ScalingModel::step_time`] adds
+    /// the per-step staging time (or, with prefetch, takes the max).
+    pub stage: Option<StageTerm>,
 }
 
 /// One point of a scaling curve.
@@ -77,6 +143,7 @@ impl ScalingModel {
             algo: CollectiveAlgo::Ring,
             tuning: None,
             codec: GradCodec::Dense32,
+            stage: None,
         }
     }
 
@@ -91,6 +158,13 @@ impl ScalingModel {
     /// field.
     pub fn codec(mut self, codec: GradCodec) -> Self {
         self.codec = codec;
+        self
+    }
+
+    /// Attaches an input-staging term (builder style); see the `stage`
+    /// field.
+    pub fn stage(mut self, term: StageTerm) -> Self {
+        self.stage = Some(term);
         self
     }
 
@@ -134,13 +208,50 @@ impl ScalingModel {
         dense * ratio
     }
 
-    /// One synchronous data-parallel step on `gpus` GPUs: compute plus
-    /// the part of the allreduce that cannot be overlapped with backprop.
-    pub fn step_time(&self, gpus: usize) -> SimTime {
+    /// Time one rank spends staging its mini-batch from the shared
+    /// filesystem when `gpus` ranks read concurrently. Zero without a
+    /// stage term.
+    pub fn stage_time(&self, gpus: usize) -> SimTime {
+        let Some(term) = &self.stage else {
+            return SimTime::ZERO;
+        };
+        let bytes = term.bytes_per_sample * self.batch_per_gpu as f64;
+        SimTime::from_secs(bytes / (term.per_rank_bw_gbs(gpus) * 1e9))
+    }
+
+    /// Whether input staging (not compute+comm) dictates the step time at
+    /// this scale — the regime the prefetcher can no longer hide.
+    pub fn input_bound(&self, gpus: usize) -> bool {
+        self.stage_time(gpus) > self.visible_step_time(gpus)
+    }
+
+    /// Compute plus the visible (non-overlapped) part of the allreduce —
+    /// the step time before any staging cost.
+    fn visible_step_time(&self, gpus: usize) -> SimTime {
         let compute = self.compute_time();
         let comm = self.comm_time(gpus);
         let hidden = comm.min(compute * OVERLAP_FRACTION);
         compute + comm.saturating_sub(hidden)
+    }
+
+    /// One synchronous data-parallel step on `gpus` GPUs: compute plus
+    /// the part of the allreduce that cannot be overlapped with backprop,
+    /// plus the input-staging term when one is attached (overlapped
+    /// staging takes the max — it hides until it is the bottleneck;
+    /// serial staging adds to every step).
+    pub fn step_time(&self, gpus: usize) -> SimTime {
+        let visible = self.visible_step_time(gpus);
+        match &self.stage {
+            None => visible,
+            Some(term) => {
+                let stage = self.stage_time(gpus);
+                if term.prefetch {
+                    visible.max(stage)
+                } else {
+                    visible + stage
+                }
+            }
+        }
     }
 
     /// Steps per epoch with the global batch `batch_per_gpu × gpus`.
@@ -335,6 +446,84 @@ mod tests {
         let share = |g: usize| m.comm_time(g) / m.step_time(g);
         assert!(share(128) > share(8));
         assert!(share(8) > share(2));
+    }
+
+    #[test]
+    fn no_stage_term_leaves_the_curves_untouched() {
+        // `stage: None` is the pre-PR-10 model bit-for-bit: zero staging
+        // time, and step/epoch times identical to the pure
+        // compute+comm composition.
+        let m = v100_model();
+        for gpus in [1usize, 8, 96, 128] {
+            assert_eq!(m.stage_time(gpus), SimTime::ZERO);
+            assert!(!m.input_bound(gpus));
+            let compute = m.compute_time();
+            let comm = m.comm_time(gpus);
+            let hidden = comm.min(compute * OVERLAP_FRACTION);
+            assert_eq!(m.step_time(gpus), compute + comm.saturating_sub(hidden));
+        }
+    }
+
+    #[test]
+    fn shared_staging_turns_input_bound_at_sedona_scale() {
+        // DEEP-SSSM backend: 48 GB/s aggregate, 12.5 GB/s per client.
+        // A few ranks barely notice staging; at the study's 96/128-GPU
+        // points each rank's fair share (0.5 / 0.375 GB/s) makes the
+        // input pipeline the bottleneck and the curve saturates.
+        let fs = ParallelFs::deep_sssm();
+        let m = v100_model().stage(StageTerm::bigearth_from_pfs(&fs));
+        assert!(!m.input_bound(1));
+        assert!(!m.input_bound(4));
+        assert!(m.input_bound(96), "96 GPUs should be input-bound");
+        assert!(m.input_bound(128), "128 GPUs should be input-bound");
+        // Input-bound step time is exactly the staging time (prefetch
+        // hides compute+comm behind it, not the other way round).
+        assert_eq!(m.step_time(96), m.stage_time(96));
+        assert!(m.step_time(96) > v100_model().step_time(96));
+        // Staging time grows with rank count once fair share binds the
+        // per-rank bandwidth.
+        assert!(m.stage_time(128) > m.stage_time(96));
+        assert!(m.stage_time(96) > m.stage_time(4));
+        // Where staging is hidden, the prefetch model matches the
+        // stage-free step exactly.
+        assert_eq!(m.step_time(4), v100_model().step_time(4));
+    }
+
+    #[test]
+    fn prefetch_overlap_beats_serial_staging() {
+        let fs = ParallelFs::deep_sssm();
+        let term = StageTerm::bigearth_from_pfs(&fs);
+        let overlapped = v100_model().stage(term);
+        let serial = v100_model().stage(term.prefetch(false));
+        for gpus in [1usize, 4, 96, 128] {
+            // Serial staging pays stage + visible on every step; the
+            // prefetcher pays only the max.
+            assert_eq!(
+                serial.step_time(gpus),
+                v100_model().step_time(gpus) + serial.stage_time(gpus)
+            );
+            assert!(serial.step_time(gpus) > overlapped.step_time(gpus));
+        }
+        // Speedup saturates once input-bound: going 96 → 128 GPUs buys
+        // almost nothing because the shared backend is already saturated.
+        let c = overlapped.curve(&[96, 128]);
+        let gain = c[1].speedup / c[0].speedup;
+        assert!(
+            gain < 1.05,
+            "input-bound scaling should flatline, got {gain}"
+        );
+    }
+
+    #[test]
+    fn per_rank_bw_is_capped_then_fair_shared() {
+        let fs = ParallelFs::deep_sssm();
+        let term = StageTerm::bigearth_from_pfs(&fs);
+        // Few ranks: client link is the cap.
+        assert_eq!(term.per_rank_bw_gbs(1), fs.single_client_bw_gbs());
+        // Many ranks: fair share of the backend.
+        let agg = fs.aggregate_bw_gbs();
+        assert_eq!(term.per_rank_bw_gbs(96), agg / 96.0);
+        assert!(term.per_rank_bw_gbs(96) < term.per_rank_bw_gbs(4));
     }
 
     #[test]

@@ -60,6 +60,7 @@
 use crate::checkpoint::{CheckpointError, CheckpointPolicy, CheckpointRecord, TrainerProgress};
 use crate::compress::TopKCompressor;
 use crate::fusion::{ExchangeDispatch, FusionBuffer, FusionConfig};
+use data::stream::{with_prefetch, BatchSource, BatchStream, SlabPool};
 use data::Dataset;
 use msa_core::SimTime;
 use msa_net::{
@@ -196,14 +197,23 @@ pub struct PhaseBreakdown {
     /// exactly equal to the virtual wall clock. Zero on the serialized
     /// path.
     pub overlap_saved_ps: u64,
+    /// Staging picoseconds hidden behind the previous steps' compute by
+    /// the depth-k batch prefetcher ([`Trainer::prefetch`]): `stage_ps`
+    /// records every batch's *full* staging cost, the consumer only
+    /// stalls for the part not already assembled when it arrives, and
+    /// the difference lands here — so the partition invariant stays
+    /// exact. Zero at depth 0 (the serial seed schedule).
+    pub stage_overlap_saved_ps: u64,
 }
 
 impl PhaseBreakdown {
     /// Modeled wall time in picoseconds: the phase sum, minus the
-    /// allreduce share that ran concurrently with compute.
+    /// allreduce share that ran concurrently with compute and the
+    /// staging share that ran concurrently with previous steps.
     pub fn total_ps(&self) -> u64 {
         self.stage_ps + self.compute_ps + self.allreduce_ps + self.checkpoint_ps
             - self.overlap_saved_ps
+            - self.stage_overlap_saved_ps
     }
 
     /// Sum of all phases as a [`SimTime`].
@@ -217,6 +227,60 @@ impl PhaseBreakdown {
         self.allreduce_ps += other.allreduce_ps;
         self.checkpoint_ps += other.checkpoint_ps;
         self.overlap_saved_ps += other.overlap_saved_ps;
+        self.stage_overlap_saved_ps += other.stage_overlap_saved_ps;
+    }
+}
+
+/// Discrete-event pricing of the depth-k prefetch ring on the virtual
+/// clock. The modeled producer starts assembling batch `t` as soon as
+/// the previous batch is assembled *and* ring slot `t − k` has been
+/// popped (`S_t = max(R_{t−1}, P_{t−k})`, `R_t = S_t + cost_t`); the
+/// consumer arriving at `A_t` stalls only `max(0, R_t − A_t)`. Because
+/// `R_{t−1} ≤ P_{t−1} ≤ A_t` and `P_{t−k} ≤ A_t` for `k ≥ 1`, the stall
+/// never exceeds the full staging cost, so the hidden remainder
+/// (`cost − stall`) is a well-formed `u64` — it accumulates into
+/// [`PhaseBreakdown::stage_overlap_saved_ps`]. Depth 0 degenerates to
+/// the serial seed schedule: the stall is the full cost, bit for bit.
+#[derive(Debug)]
+struct StagePipe {
+    depth: usize,
+    /// `R_{t−1}`: virtual time the previous batch finished assembling.
+    ready: u64,
+    /// Pop times of the last `depth` batches (`P_{t−depth} … P_{t−1}`),
+    /// preloaded with the epoch start so the first `depth` batches only
+    /// wait on `R_{t−1}`.
+    pops: std::collections::VecDeque<u64>,
+}
+
+impl StagePipe {
+    fn new(depth: usize, epoch_start_ps: u64) -> Self {
+        StagePipe {
+            depth,
+            ready: epoch_start_ps,
+            pops: std::iter::repeat_n(epoch_start_ps, depth).collect(),
+        }
+    }
+
+    /// Consumer needs the next batch (staging cost `cost_ps`) at virtual
+    /// time `now_ps`; returns how long it stalls. The caller advances
+    /// the clock by the stall and then reports the pop via
+    /// [`StagePipe::popped`].
+    fn arrive(&mut self, cost_ps: u64, now_ps: u64) -> u64 {
+        if self.depth == 0 {
+            return cost_ps;
+        }
+        // lint: allow(unwrap) -- `pops` is preloaded with `depth` entries and refilled on every pop
+        let slot_free = self.pops.pop_front().expect("pipe slot");
+        let start = self.ready.max(slot_free);
+        self.ready = start + cost_ps;
+        self.ready.saturating_sub(now_ps)
+    }
+
+    /// Records the pop time (the clock after the stall was applied).
+    fn popped(&mut self, now_ps: u64) {
+        if self.depth > 0 {
+            self.pops.push_back(now_ps);
+        }
     }
 }
 
@@ -340,6 +404,7 @@ pub struct Trainer {
     fusion: FusionConfig,
     dispatch: ExchangeDispatch,
     codec: GradCodec,
+    prefetch: usize,
     tag: Option<String>,
 }
 
@@ -354,6 +419,7 @@ impl std::fmt::Debug for Trainer {
             .field("fusion", &self.fusion)
             .field("dispatch", &self.dispatch)
             .field("codec", &self.codec)
+            .field("prefetch", &self.prefetch)
             .field("tag", &self.tag)
             .finish()
     }
@@ -372,6 +438,7 @@ impl Trainer {
             fusion: FusionConfig::default(),
             dispatch: ExchangeDispatch::default(),
             codec: GradCodec::default(),
+            prefetch: 0,
             tag: None,
         }
     }
@@ -458,6 +525,23 @@ impl Trainer {
         self
     }
 
+    /// Arms the depth-`k` batch prefetcher: each rank assembles up to
+    /// `depth` mini-batches ahead on a producer thread (the
+    /// [`data::stream::with_prefetch`] ring) while the current step
+    /// computes, and the priced clock charges only the staging time not
+    /// already hidden behind previous steps — the hidden share lands in
+    /// [`PhaseBreakdown::stage_overlap_saved_ps`].
+    ///
+    /// Training results are bit-identical at every depth: the prefetcher
+    /// changes *when* batches are assembled, never their bits or order.
+    /// `0` (the default) keeps the serial seed schedule — and the seed's
+    /// modeled timings — exactly; [`data::stream::DEFAULT_PREFETCH_DEPTH`]
+    /// (2) is the recommended double-buffering depth.
+    pub fn prefetch(mut self, depth: usize) -> Self {
+        self.prefetch = depth;
+        self
+    }
+
     /// Labels every metric this run records with `run=<tag>`, so several
     /// runs can share one registry without colliding.
     pub fn tag(mut self, tag: impl Into<String>) -> Self {
@@ -498,6 +582,7 @@ impl Trainer {
             self.fusion,
             &self.dispatch,
             self.codec,
+            self.prefetch,
             self.tag.as_deref(),
             self.recorder.as_deref(),
         ))
@@ -584,6 +669,7 @@ fn run_engine<M, O, L>(
     fusion: FusionConfig,
     dispatch: &ExchangeDispatch,
     codec: GradCodec,
+    prefetch: usize,
     tag: Option<&str>,
     recorder: Option<&MetricsRegistry>,
 ) -> TrainOutcome
@@ -600,7 +686,7 @@ where
     let results = ThreadComm::run_with(cfg.workers, &opts, |comm| {
         train_rank(
             comm, cfg, dataset, model_fn, opt_fn, loss, resume, cost, fusion, dispatch, codec,
-            tag,
+            prefetch, tag,
         )
     });
 
@@ -641,6 +727,7 @@ fn train_rank<M, O, L>(
     fusion_cfg: FusionConfig,
     dispatch: &ExchangeDispatch,
     codec: GradCodec,
+    prefetch: usize,
     tag: Option<&str>,
 ) -> RankRun
 where
@@ -723,17 +810,24 @@ where
             .collect(),
         _ => Vec::new(),
     };
+    // Batch-buffer slabs circulated by the prefetch ring; warm after the
+    // first epoch, so steady-state epochs assemble without allocating.
+    let mut slab_pool = SlabPool::new();
 
     for epoch in start_epoch..cfg.epochs {
         let lr = effective_lr(cfg, epoch);
         opt.set_lr(lr);
         let rng_pos_start = shuffle_rng.word_pos();
-        let batches = shard.batches(cfg.batch_per_worker, &mut shuffle_rng);
+        // Lazy batch stream: draws the epoch permutation up front (the
+        // same single RNG consumption the retired eager path made, so
+        // checkpointed RNG positions are unchanged) and assembles
+        // mini-batches on demand — no epoch-wide materialization spike.
+        let mut stream = BatchStream::new(&shard, cfg.batch_per_worker, &mut shuffle_rng);
         let rng_pos_now = shuffle_rng.word_pos();
         // Every rank must run the same number of steps per epoch or the
         // collectives deadlock; agree on the global minimum batch count.
         let min_steps = {
-            let all = comm.allgather(&[batches.len() as f32]);
+            let all = comm.allgather(&[stream.num_batches() as f32]);
             all.iter().map(|v| v[0]).fold(f32::INFINITY, f32::min) as usize
         };
 
@@ -755,34 +849,44 @@ where
         let mut step_in_epoch = skip;
         let mut eb = PhaseBreakdown::default();
 
-        for (bx, by) in batches.into_iter().take(min_steps).skip(skip) {
-            // A dead rank makes the next collective impossible for every
-            // rank; the armed fault therefore aborts all of them here, at
-            // the same lock-step boundary.
-            if let Err(killed) = comm.poll_fault(steps_per_rank as u64) {
-                totals.absorb(&eb);
-                record_rank_metrics(
-                    &reg,
-                    comm,
-                    rank,
-                    tag,
-                    &totals,
-                    &epoch_bds,
-                    steps_run,
-                    allreduce_bytes,
-                    &epochs,
-                    &checkpoints,
-                    clock.now_ps(),
-                );
-                return RankRun {
-                    outcome: Err((killed, latest_snapshot)),
-                    metrics: reg,
-                };
+        // The per-step body, written once over the [`BatchSource`] pull
+        // interface and run either inline (depth 0, the serial seed
+        // schedule) or against the prefetch ring. `Err` is the
+        // fault-abort path.
+        let mut epoch_body = |src: &mut dyn BatchSource| -> Result<(), RankKilled> {
+            // Resumed epochs re-enter mid-way: pull and recycle the
+            // already-trained batches without pricing anything (the
+            // retired eager path assembled them and priced nothing).
+            for _ in 0..skip.min(min_steps) {
+                if let Some(b) = src.next_batch() {
+                    src.recycle(b);
+                }
             }
+            // Modeled ring pricing starts at the epoch's current clock;
+            // at depth 0 the pipe degenerates to the serial schedule.
+            let mut pipe = StagePipe::new(prefetch, clock.now_ps());
 
-            // Phase 1: stage the mini-batch host→device.
-            let batch_bytes = ((bx.data().len() + by.data().len()) * size_of::<f32>()) as u64;
-            eb.stage_ps += clock.advance(cost.stage_time(batch_bytes));
+            for _ in skip..min_steps {
+                // A dead rank makes the next collective impossible for
+                // every rank; the armed fault therefore aborts all of
+                // them here, at the same lock-step boundary.
+                comm.poll_fault(steps_per_rank as u64)?;
+                let Some((bx, by)) = src.next_batch() else { break };
+
+                // Phase 1: stage the mini-batch host→device. The full
+                // cost lands in `stage_ps`; the consumer only stalls for
+                // the share the modeled producer had not already
+                // assembled, and the hidden remainder is accounted in
+                // `stage_overlap_saved_ps` — keeping the partition
+                // invariant exact.
+                let batch_bytes =
+                    ((bx.data().len() + by.data().len()) * size_of::<f32>()) as u64;
+                let s_ps = msa_obs::simtime_to_ps(cost.stage_time(batch_bytes));
+                let stall = pipe.arrive(s_ps, clock.now_ps());
+                clock.advance_ps(stall);
+                pipe.popped(clock.now_ps());
+                eb.stage_ps += s_ps;
+                eb.stage_overlap_saved_ps += s_ps - stall;
 
             // Phases 2+3: forward + backward, and the Horovod moment —
             // average gradients across ranks. With overlap on, each
@@ -918,6 +1022,38 @@ where
                     }
                 }
             }
+
+                // Hand the batch buffers back so the ring can reuse them
+                // (a no-op on the inline path).
+                src.recycle((bx, by));
+            }
+            Ok(())
+        };
+
+        let body = if prefetch == 0 {
+            epoch_body(&mut stream)
+        } else {
+            with_prefetch(&mut stream, prefetch, &mut slab_pool, |src| epoch_body(src))
+        };
+        if let Err(killed) = body {
+            totals.absorb(&eb);
+            record_rank_metrics(
+                &reg,
+                comm,
+                rank,
+                tag,
+                &totals,
+                &epoch_bds,
+                steps_run,
+                allreduce_bytes,
+                &epochs,
+                &checkpoints,
+                clock.now_ps(),
+            );
+            return RankRun {
+                outcome: Err((killed, latest_snapshot)),
+                metrics: reg,
+            };
         }
 
         // Average the epoch loss over ranks for reporting.
@@ -1072,6 +1208,10 @@ fn record_rank_metrics(
     reg.add(&key("trainer.steps", &labels), steps_run);
     reg.add(&key("trainer.allreduce.bytes", &labels), allreduce_bytes);
     reg.time_ps(&key("trainer.overlap.saved", &labels), totals.overlap_saved_ps);
+    reg.time_ps(
+        &key("trainer.stage_overlap.saved", &labels),
+        totals.stage_overlap_saved_ps,
+    );
     reg.time_ps(&key("trainer.sim_wall", &labels), sim_wall_ps);
     if let Some(stats) = comm.stats() {
         stats.export().record_into(reg, &labels);
@@ -1703,5 +1843,154 @@ mod tests {
             ),
             Err(CheckpointError::BadProgress(_))
         ));
+    }
+
+    #[test]
+    fn stage_pipe_depth_zero_is_serial_and_stalls_never_exceed_cost() {
+        // Depth 0: the stall is the full cost, always.
+        let mut serial = StagePipe::new(0, 1000);
+        for cost in [5u64, 17, 0, 400] {
+            assert_eq!(serial.arrive(cost, 12345), cost);
+            serial.popped(12345 + cost);
+        }
+        // Depth 1, uniform steps: batch 0 pays in full (nothing was
+        // assembled before the epoch), every later batch is fully hidden
+        // when compute dominates staging.
+        let mut pipe = StagePipe::new(1, 0);
+        let mut now = 0u64;
+        let (stage, compute) = (10u64, 50u64);
+        let first = pipe.arrive(stage, now);
+        assert_eq!(first, stage);
+        now += first;
+        pipe.popped(now);
+        for _ in 0..5 {
+            now += compute;
+            let stall = pipe.arrive(stage, now);
+            assert_eq!(stall, 0, "staging hides entirely under compute");
+            pipe.popped(now);
+        }
+        // Stage-bound the other way round: compute shorter than staging
+        // still never stalls longer than the full cost.
+        let mut bound = StagePipe::new(2, 0);
+        let mut t = 0u64;
+        for _ in 0..6 {
+            let stall = bound.arrive(100, t);
+            assert!(stall <= 100, "stall {stall} exceeds the staging cost");
+            t += stall;
+            bound.popped(t);
+            t += 20; // short compute
+        }
+    }
+
+    #[test]
+    fn prefetch_training_is_bit_identical_and_prices_the_hidden_stage() {
+        let ds = toy_dataset(256, 8, 4, 47);
+        let run = |depth: usize| {
+            let cfg = TrainConfig {
+                workers: 2,
+                epochs: 3,
+                batch_per_worker: 16,
+                base_lr: 0.05,
+                lr_scaling: true,
+                warmup_epochs: 1,
+                seed: 47,
+                checkpoint: Some(CheckpointPolicy::every(5)),
+            };
+            Trainer::new(cfg)
+                .prefetch(depth)
+                .run(
+                    &ds,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+        };
+        let base = run(0);
+        assert_eq!(base.breakdown.stage_overlap_saved_ps, 0, "depth 0 is serial");
+        for depth in [1usize, 2, 4] {
+            let got = run(depth);
+            let same_params = base
+                .final_params
+                .iter()
+                .zip(&got.final_params)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_params, "depth {depth}: parameters diverged");
+            assert_eq!(base.final_state, got.final_state, "depth {depth}: BN state");
+            for (a, b) in base.epochs.iter().zip(&got.epochs) {
+                assert_eq!(
+                    a.mean_loss.to_bits(),
+                    b.mean_loss.to_bits(),
+                    "depth {depth}: epoch {} loss",
+                    a.epoch
+                );
+            }
+            // The full staging cost is charged either way; only the
+            // stalled share differs — and the partition invariant holds
+            // exactly, so the wall shrinks by exactly the hidden share.
+            assert_eq!(base.breakdown.stage_ps, got.breakdown.stage_ps);
+            assert_eq!(base.breakdown.compute_ps, got.breakdown.compute_ps);
+            assert_eq!(base.breakdown.allreduce_ps, got.breakdown.allreduce_ps);
+            assert_eq!(base.breakdown.checkpoint_ps, got.breakdown.checkpoint_ps);
+            assert!(
+                got.breakdown.stage_overlap_saved_ps > 0,
+                "depth {depth} must hide some staging"
+            );
+            assert_eq!(got.breakdown.total_ps(), got.sim_wall_ps);
+            assert_eq!(
+                got.sim_wall_ps + got.breakdown.stage_overlap_saved_ps,
+                base.sim_wall_ps,
+                "depth {depth}: wall must shrink by exactly the hidden share"
+            );
+            assert!(!got.checkpoints.is_empty(), "checkpoints still fire");
+        }
+    }
+
+    #[test]
+    fn prefetch_composes_with_fusion_and_codecs_bit_exactly() {
+        let ds = toy_dataset(128, 8, 4, 53);
+        let run = |depth: usize, codec: GradCodec| {
+            let cfg = TrainConfig {
+                workers: 4,
+                epochs: 2,
+                batch_per_worker: 8,
+                base_lr: 0.05,
+                lr_scaling: true,
+                warmup_epochs: 1,
+                seed: 53,
+                checkpoint: None,
+            };
+            Trainer::new(cfg)
+                .fusion(FusionConfig::fused(1024))
+                .codec(codec)
+                .prefetch(depth)
+                .run(
+                    &ds,
+                    |s| mlp(s, 8, 4),
+                    |lr| Box::new(Sgd::new(lr, 0.9, 0.0)),
+                    SoftmaxCrossEntropy,
+                )
+                .expect("no snapshot to validate")
+                .completed()
+        };
+        for codec in [
+            GradCodec::Dense32,
+            GradCodec::Bf16,
+            GradCodec::SparseTopK { ratio: 0.05 },
+        ] {
+            let off = run(0, codec);
+            let on = run(2, codec);
+            let same_params = off
+                .final_params
+                .iter()
+                .zip(&on.final_params)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_params, "{codec:?}: prefetch changed the parameters");
+            // Both overlap terms coexist and the invariant stays exact.
+            assert!(on.breakdown.overlap_saved_ps > 0, "{codec:?}: allreduce overlap");
+            assert!(on.breakdown.stage_overlap_saved_ps > 0, "{codec:?}: stage overlap");
+            assert_eq!(on.breakdown.total_ps(), on.sim_wall_ps);
+        }
     }
 }

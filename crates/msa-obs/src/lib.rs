@@ -601,6 +601,25 @@ impl Snapshot {
     pub fn to_bytes(&self) -> Vec<u8> {
         self.to_json().into_bytes()
     }
+
+    /// A snapshot containing only the entries whose key satisfies
+    /// `keep`, in the same (sorted) order.
+    ///
+    /// This is the bit-identicality comparator's scalpel: when a perf
+    /// feature is *expected* to move a known set of modeled-time keys
+    /// (and nothing else), compare `filtered` snapshots that exclude
+    /// exactly those keys byte-for-byte, and assert the excluded keys
+    /// moved in the promised direction separately.
+    pub fn filtered(&self, mut keep: impl FnMut(&str) -> bool) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| keep(&e.key))
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 fn json_string(out: &mut String, s: &str) {
@@ -777,6 +796,25 @@ mod tests {
         let mut sorted = snap.entries.clone();
         sorted.sort_by(|x, y| x.key.cmp(&y.key));
         assert_eq!(snap.entries, sorted);
+    }
+
+    #[test]
+    fn filtered_keeps_matching_entries_in_order() {
+        let reg = MetricsRegistry::new();
+        reg.add("trainer.steps{rank=0}", 4);
+        reg.time_ps("trainer.sim_wall{rank=0}", 99);
+        reg.time_ps("trainer.phase.stage.time{rank=0}", 7);
+        let snap = reg.snapshot();
+        let kept = snap.filtered(|k| !k.starts_with("trainer.sim_wall"));
+        assert_eq!(kept.len(), 2);
+        assert!(kept.get("trainer.sim_wall{rank=0}").is_none());
+        assert_eq!(kept.get("trainer.steps{rank=0}"), snap.get("trainer.steps{rank=0}"));
+        // Still canonical: filtering commutes with serialization order.
+        let mut sorted = kept.entries.clone();
+        sorted.sort_by(|x, y| x.key.cmp(&y.key));
+        assert_eq!(kept.entries, sorted);
+        // Keep-everything is the identity, bytes included.
+        assert_eq!(snap.filtered(|_| true).to_bytes(), snap.to_bytes());
     }
 
     #[test]

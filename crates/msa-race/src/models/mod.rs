@@ -3,9 +3,10 @@
 //! Each model is a faithful port of the protocol logic of a real
 //! primitive — the pool's claim/done/finish protocol
 //! (`shims/rayon/src/pool.rs`), the sense-reversing barrier
-//! (`crates/msa-net/src/barrier.rs`), and the channel + credit-pool
+//! (`crates/msa-net/src/barrier.rs`), the channel + credit-pool
 //! plumbing behind the slab collectives (`shims/crossbeam`,
-//! `crates/msa-net/src/thread_comm.rs`) — built on the instrumented
+//! `crates/msa-net/src/thread_comm.rs`), and the batch-prefetch ring
+//! (`crates/data/src/stream.rs`) — built on the instrumented
 //! [`crate::sync`] types and parameterized over the knobs whose values
 //! the checker is meant to audit (memory orderings, the
 //! notify-under-lock fix). Harnesses run them under [`crate::explore`]
@@ -15,6 +16,7 @@
 pub mod barrier;
 pub mod channel;
 pub mod pool;
+pub mod prefetch;
 
 use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::PoisonError;

@@ -14,6 +14,7 @@ use msa_race::models::channel::{
     credit_pool, drop_last_sender_wakes_receiver, rendezvous_handoff,
 };
 use msa_race::models::pool::{nested_join, pool_protocol, PoolConfig};
+use msa_race::models::prefetch::{prefetch_ring, PrefetchKnobs};
 use msa_race::sync::atomic::Ordering;
 use msa_race::{explore, FailureKind, Options};
 
@@ -213,6 +214,90 @@ fn credit_pool_contended_random_walk_is_clean() {
         &Options::random(0x5eed_0003, 250),
         "slab credit pool, 2 producers x 2 msgs, 2 credits (random)",
         || credit_pool(2, 2, 2),
+    );
+}
+
+// --- batch-prefetch ring --------------------------------------------------
+
+#[test]
+fn prefetch_shipped_ring_is_clean() {
+    // Full consumption exercises claim/fill/push, slab recycling, and
+    // the locked done path; a slab reused without the mutex edge would
+    // be a data race on `prefetch.slab`.
+    assert_clean(
+        &Options::exhaustive(2),
+        "prefetch ring, 3 batches through depth 1, drained",
+        || prefetch_ring(3, 1, 3, PrefetchKnobs::correct()),
+    );
+}
+
+#[test]
+fn prefetch_shipped_early_exit_is_clean() {
+    // The consumer walks away mid-epoch; the locked stop path must wake
+    // the producer off `not_full` so the join always completes.
+    assert_clean(
+        &Options::exhaustive(2),
+        "prefetch ring, early exit after 0 of 2",
+        || prefetch_ring(2, 1, 0, PrefetchKnobs::correct()),
+    );
+}
+
+#[test]
+fn prefetch_shipped_overrun_random_walk_is_clean() {
+    // Deeper ring, consumer pulls past exhaustion: the done path must
+    // convert every extra pull into `None`.
+    assert_clean(
+        &Options::random(0x5eed_0004, 300),
+        "prefetch ring, depth 2, pull past exhaustion (random)",
+        || prefetch_ring(2, 2, 3, PrefetchKnobs::correct()),
+    );
+}
+
+#[test]
+fn prefetch_unlocked_done_notify_is_found() {
+    // Pre-fix exhaustion path: done as an atomic stored outside the
+    // ring mutex + unlocked notify_all. The store + notify can land
+    // between the consumer's done-check and its wait — the consumer
+    // sleeps on `not_empty` forever.
+    assert_found(
+        &Options::exhaustive(2),
+        "prefetch ring with unlocked done notify",
+        || {
+            prefetch_ring(
+                1,
+                1,
+                2,
+                PrefetchKnobs {
+                    locked_done: false,
+                    ..PrefetchKnobs::correct()
+                },
+            )
+        },
+        |k| matches!(k, FailureKind::LostWakeup { .. }),
+    );
+}
+
+#[test]
+fn prefetch_unlocked_stop_notify_is_found() {
+    // Pre-fix early-exit path: same window on the other condvar. The
+    // producer checks stop under the mutex, the consumer's store +
+    // notify land before the wait, and the producer is stranded on
+    // `not_full` with the ring full — taking the join down with it.
+    assert_found(
+        &Options::exhaustive(2),
+        "prefetch ring with unlocked stop notify",
+        || {
+            prefetch_ring(
+                2,
+                1,
+                0,
+                PrefetchKnobs {
+                    locked_stop: false,
+                    ..PrefetchKnobs::correct()
+                },
+            )
+        },
+        |k| matches!(k, FailureKind::LostWakeup { .. }),
     );
 }
 

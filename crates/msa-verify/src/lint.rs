@@ -9,9 +9,9 @@
 //! | `float-eq`        | `ml`, `nn`, `tensor`      | no `==` / `!=` against float literals; numeric code compares with tolerances |
 //! | `pub-event-field` | `msa-core/src/event.rs`   | event structs keep fields private so invariants hold at construction |
 //! | `print`           | every crate               | no `println!`/`eprintln!` in non-test library code; observability goes through `msa-obs` recorders. CLI binaries justify each print with an allow |
-//! | `alloc-in-kernel` | `tensor/src/{matmul,conv,codec}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs`, `distrib/src/compress.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`, compressor slabs) |
+//! | `alloc-in-kernel` | `tensor/src/{matmul,conv,codec}.rs`, `nn/src/conv.rs`, `msa-net/src/collectives.rs`, `distrib/src/compress.rs`, `data/src/stream.rs` | no heap allocation (`Vec::new`, `Vec::with_capacity`, `vec![`, `.to_vec()`) inside a loop body; hot kernels go through caller-owned scratch buffers (`tensor::scratch`, `msa_net::Arena`, compressor/stream slabs) |
 //! | `ordering-audit`  | everywhere but the audited sync cores (`shims/rayon/src/pool.rs`, `msa-net/src/{barrier,thread_comm,stats}.rs`) and `msa-race` itself | no `Ordering::Relaxed` / `Ordering::AcqRel` in non-test code; weak orderings belong in the msa-race-audited sync cores, anywhere else each use justifies itself with an allow |
-//! | `raw-sync`        | `shims/rayon`, `shims/crossbeam`, `msa-net` | no direct `std::sync::{Mutex, Condvar}` / `std::sync::atomic` imports; concurrency primitives go through the `msa_sync` facade so `--cfg msa_check` builds can instrument them |
+//! | `raw-sync`        | `shims/rayon`, `shims/crossbeam`, `msa-net`, `data` | no direct `std::sync::{Mutex, Condvar}` / `std::sync::atomic` imports; concurrency primitives go through the `msa_sync` facade so `--cfg msa_check` builds can instrument them |
 //! | `removed-api`     | every crate (tests included) | the retired entry points (`train_data_parallel`, `train_data_parallel_faulted`, `resume_from_snapshot`, `create_with_fault`, `run_with_fault`) must not reappear; the `Trainer` and `CommOptions` builders are the only surface |
 //!
 //! Findings print as `file:line: rule — message` and the binary exits
@@ -120,6 +120,11 @@ impl Profile {
             // selection/payload/gather slabs live on the compressor so
             // steady-state exchanges allocate nothing.
             "distrib" => file.file_name().is_some_and(|n| n == "compress.rs"),
+            // Batch assembly runs once per training step; the stream's
+            // slab pool and prefetch ring exist so steady-state epochs
+            // gather into recycled buffers. Warm-up allocations justify
+            // themselves with allows.
+            "data" => file.file_name().is_some_and(|n| n == "stream.rs"),
             _ => false,
         };
         // The sync cores whose weak orderings the msa-race checker audits
@@ -148,8 +153,10 @@ impl Profile {
             // token scan cannot apply there.
             ordering_audit: !is_sync_core && crate_name != "msa-race",
             // msa-sync IS the facade; msa-race implements the instrumented
-            // types over std. Everyone else in scope routes through them.
-            raw_sync: crate_name == "msa-net",
+            // types over std. Everyone else in scope routes through them —
+            // including data, whose prefetch ring must stay checkable
+            // under `--cfg msa_check`.
+            raw_sync: matches!(crate_name, "msa-net" | "data"),
             removed_api: true,
         }
     }
@@ -1285,6 +1292,13 @@ mod tests {
         assert!(p.alloc_in_kernel);
         let p = Profile::for_crate("distrib", Path::new("crates/distrib/src/fusion.rs"));
         assert!(!p.alloc_in_kernel);
+        // The batch stream is the input hot path: alloc rule on, and its
+        // prefetch ring must go through the msa_sync facade. The
+        // generators stay out of both.
+        let p = Profile::for_crate("data", Path::new("crates/data/src/stream.rs"));
+        assert!(p.alloc_in_kernel && p.raw_sync);
+        let p = Profile::for_crate("data", Path::new("crates/data/src/bigearth.rs"));
+        assert!(!p.alloc_in_kernel && p.raw_sync);
         // Every crate bans the retired entry points; shims reproduce
         // external APIs and are out of scope.
         let p = Profile::for_crate("distrib", Path::new("crates/distrib/src/trainer.rs"));
